@@ -1,0 +1,134 @@
+// Ablation C: fault-model robustness. The paper evaluates uniform transient
+// bit flips in parameter memory; this ablation re-runs the scheme
+// comparison under the related fault classes its Sec. II cites:
+//   - stuck-at-1 / stuck-at-0 (permanent cell defects),
+//   - word bursts (multi-bit upsets),
+//   - transient *activation* faults (soft errors in computed values —
+//     Ranger's original fault class, injected at every activation site).
+//
+// The claim under test: FitAct's advantage is a property of tight
+// neuron-wise bounds, not of the specific fault model.
+//
+// Usage: ablation_fault_models [--model tinycnn] [--rate 3e-5] [--trials N]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/activation.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "fault/campaign.h"
+#include "fault/transient.h"
+#include "quant/param_image.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fitact;
+  const ut::Cli cli(argc, argv);
+  ev::ExperimentScale scale = ev::ExperimentScale::scaled();
+  scale.train_size = cli.get_int("train-size", 640);
+  scale.train_epochs = cli.get_int("epochs", 12);
+  scale.trials = cli.get_int("trials", 10);
+  const std::string model_name = cli.get("model", "tinycnn");
+  // Stress rate: high enough that the unprotected model collapses, so the
+  // protections separate clearly at modest trial counts.
+  const double rate = cli.get_double("rate", 1e-4);
+  ut::set_log_level(ut::LogLevel::warn);
+
+  ev::PreparedModel pm =
+      ev::prepare_model(model_name, 10, scale, "fitact_cache");
+  std::printf("Fault-model ablation on %s (baseline %.2f%%, rate %.0e, "
+              "%lld trials)\n\n",
+              model_name.c_str(), pm.baseline_accuracy * 100.0, rate,
+              static_cast<long long>(scale.trials));
+
+  const std::vector<core::Scheme> schemes = {
+      core::Scheme::fitrelu, core::Scheme::clip_act, core::Scheme::ranger,
+      core::Scheme::relu};
+  struct ParamFaultCase {
+    const char* label;
+    fault::FaultModel model;
+  };
+  std::vector<ParamFaultCase> cases;
+  {
+    fault::FaultModel m;
+    m.type = fault::FaultType::bit_flip;
+    cases.push_back({"bit flips (paper)", m});
+    m.type = fault::FaultType::stuck_at_one;
+    cases.push_back({"stuck-at-1", m});
+    m.type = fault::FaultType::stuck_at_zero;
+    cases.push_back({"stuck-at-0", m});
+    m.type = fault::FaultType::word_burst;
+    m.burst_length = 4;
+    cases.push_back({"4-bit bursts", m});
+    m = fault::FaultModel{};
+    m.bit_lo = 24;
+    m.bit_hi = 31;
+    cases.push_back({"high-bit flips only", m});
+  }
+
+  ut::CsvWriter csv(cli.get("csv", "ablation_fault_models.csv"),
+                    {"fault_model", "scheme", "mean_accuracy"});
+  ut::TextTable table({"fault model", "FitAct", "Clip-Act", "Ranger",
+                       "Unprotected"});
+  ev::EvalConfig ec;
+  ec.max_samples = scale.eval_samples;
+
+  for (const auto& fc : cases) {
+    std::vector<std::string> row{fc.label};
+    for (const auto scheme : schemes) {
+      ev::protect_model(pm, scheme, scale);
+      quant::ParamImage image(*pm.model);
+      fault::Injector injector(image);
+      fault::CampaignConfig cc;
+      cc.bit_error_rate = rate;
+      cc.trials = scale.trials;
+      cc.seed = 31337;
+      cc.fault_model = fc.model;
+      const auto result = fault::run_campaign(
+          injector,
+          [&] { return ev::evaluate_accuracy(*pm.model, *pm.test, ec); }, cc);
+      row.push_back(ut::TextTable::percent(result.mean_accuracy));
+      csv.row({fc.label, ev::paper_label(scheme),
+               ut::CsvWriter::num(result.mean_accuracy)});
+    }
+    table.row(std::move(row));
+  }
+
+  // Transient activation faults: no parameter corruption; instead every
+  // activation site corrupts its pre-activation input.
+  {
+    std::vector<std::string> row{"activation faults"};
+    const double act_rate = cli.get_double("act-rate", 1e-6);
+    for (const auto scheme : schemes) {
+      ev::protect_model(pm, scheme, scale);
+      double sum = 0.0;
+      for (std::int64_t t = 0; t < scale.trials; ++t) {
+        const auto sites = core::collect_activations(*pm.model);
+        for (std::size_t s = 0; s < sites.size(); ++s) {
+          sites[s]->set_input_corruptor(fault::make_bitflip_corruptor(
+              act_rate, 555 + t * 100 + static_cast<std::uint64_t>(s)));
+        }
+        sum += ev::evaluate_accuracy(*pm.model, *pm.test, ec);
+        for (const auto& site : sites) site->clear_input_corruptor();
+      }
+      const double mean = sum / static_cast<double>(scale.trials);
+      row.push_back(ut::TextTable::percent(mean));
+      csv.row({"activation faults", ev::paper_label(scheme),
+               ut::CsvWriter::num(mean)});
+    }
+    table.row(std::move(row));
+  }
+
+  table.print();
+  std::printf(
+      "\nExpected: the scheme ordering (FitAct >= Clip-Act >= Ranger >>\n"
+      "Unprotected) is stable across fault classes; stuck-at-0 is the\n"
+      "mildest (it can only shrink magnitudes), high-bit-only flips the\n"
+      "harshest for the unprotected model.\nCSV: %s\n",
+      csv.path().c_str());
+  return 0;
+}

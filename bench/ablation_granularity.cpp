@@ -1,0 +1,79 @@
+// Ablation A (DESIGN.md): bound granularity. The paper argues per-neuron
+// bounds beat a per-layer bound (Sec. III-C); this ablation quantifies the
+// middle ground (per-channel) as well, holding everything else fixed:
+// same trained model, same FitReLU activation, same post-training budget,
+// same fault campaigns.
+//
+// Usage: ablation_granularity [--model vgg16] [--trials N] [--full]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bound_profiler.h"
+#include "core/post_training.h"
+#include "core/protection.h"
+#include "eval/experiment.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fitact;
+  const ut::Cli cli(argc, argv);
+  ev::ExperimentScale scale = cli.get_flag("full")
+                                  ? ev::ExperimentScale::full()
+                                  : ev::ExperimentScale::scaled();
+  if (cli.has("trials")) scale.trials = cli.get_int("trials", scale.trials);
+  const std::string model_name = cli.get("model", "vgg16");
+  ut::set_log_level(ut::LogLevel::warn);
+
+  ev::PreparedModel pm =
+      ev::prepare_model(model_name, 10, scale, "fitact_cache");
+  const double rate_factor = cli.get_double("rate-scale", 1.0);
+  const std::vector<double> paper_rates = {1e-6, 3e-6, 1e-5};
+
+  std::printf("Ablation: FitAct bound granularity on %s / CIFAR-10 "
+              "(baseline %.2f%%)\n\n",
+              model_name.c_str(), pm.baseline_accuracy * 100.0);
+  ut::CsvWriter csv(cli.get("csv", "ablation_granularity.csv"),
+                    {"granularity", "bound_params", "clean_acc", "fault_rate",
+                     "mean_accuracy"});
+  ut::TextTable table({"granularity", "bound params", "clean acc",
+                       "acc@1e-6", "acc@3e-6", "acc@1e-5"});
+
+  for (const auto gran :
+       {core::Granularity::per_layer, core::Granularity::per_channel,
+        core::Granularity::per_neuron}) {
+    // Protect with FitReLU at this granularity (profile reused).
+    ev::protect_model(pm, core::Scheme::relu, scale);  // ensures profile
+    core::ProtectionOptions opts;
+    opts.granularity = gran;
+    core::apply_protection(*pm.model, core::Scheme::fitrelu, opts);
+    const core::PostTrainReport post = core::post_train_bounds(
+        *pm.model, *pm.train, *pm.test, pm.baseline_accuracy, scale.post);
+    const double clean = ev::clean_subset_accuracy(pm, scale);
+    const std::int64_t bound_params = core::total_bound_count(*pm.model);
+
+    std::vector<std::string> row{core::to_string(gran),
+                                 std::to_string(bound_params),
+                                 ut::TextTable::percent(clean)};
+    for (const double paper_rate : paper_rates) {
+      const auto result =
+          ev::campaign_at_rate(pm, paper_rate * rate_factor, scale, 777);
+      row.push_back(ut::TextTable::percent(result.mean_accuracy));
+      csv.row({core::to_string(gran), std::to_string(bound_params),
+               ut::CsvWriter::num(clean), ut::CsvWriter::num(paper_rate),
+               ut::CsvWriter::num(result.mean_accuracy)});
+    }
+    table.row(std::move(row));
+    (void)post;
+  }
+  table.print();
+  std::printf(
+      "\nExpected: finer granularity tightens bounds around each neuron's\n"
+      "true operating range, improving fault removal at the cost of more\n"
+      "bound parameters (the paper's per-neuron choice).\nCSV: %s\n",
+      csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Bit-position criticality sweep (extension; cf. the paper's Sec. III
+// argument that faulty values are *large* because high integer bits flip).
+//
+// For each bit position of the Q1.15.16 word, flip that bit in a fixed
+// number of randomly chosen parameter words and measure accuracy, for the
+// unprotected model and the FitAct-protected one. Expected: fraction bits
+// (0-15) are harmless; damage grows through the integer bits (16-30) and
+// the sign bit; FitAct flattens the high-bit cliff because the resulting
+// huge activations are squashed at the next activation site.
+//
+// Usage: bit_sensitivity [--model tinycnn] [--words N] [--trials T]
+#include <cstdio>
+#include <string>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "fault/injector.h"
+#include "quant/param_image.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fitact;
+  const ut::Cli cli(argc, argv);
+  ev::ExperimentScale scale = ev::ExperimentScale::scaled();
+  scale.train_size = cli.get_int("train-size", 640);
+  scale.train_epochs = cli.get_int("epochs", 12);
+  const std::string model_name = cli.get("model", "tinycnn");
+  const std::int64_t trials = cli.get_int("trials", 4);
+  ut::set_log_level(ut::LogLevel::warn);
+
+  ev::PreparedModel pm =
+      ev::prepare_model(model_name, 10, scale, "fitact_cache");
+  const auto words =
+      static_cast<std::uint64_t>(cli.get_int("words", 16));
+
+  ev::EvalConfig ec;
+  ec.max_samples = scale.eval_samples;
+  const auto sweep = [&](core::Scheme scheme, ut::CsvWriter& csv) {
+    ev::protect_model(pm, scheme, scale);
+    quant::ParamImage image(*pm.model);
+    fault::Injector injector(image);
+    std::vector<double> acc(32, 0.0);
+    for (int bit = 0; bit < 32; ++bit) {
+      ut::Rng rng(9000 + static_cast<std::uint64_t>(bit));
+      double sum = 0.0;
+      for (std::int64_t t = 0; t < trials; ++t) {
+        ut::Rng trial = rng.split();
+        injector.inject_exact_at_bit(words, bit, trial);
+        sum += ev::evaluate_accuracy(*pm.model, *pm.test, ec);
+        injector.restore();
+      }
+      acc[static_cast<std::size_t>(bit)] = sum / static_cast<double>(trials);
+      csv.row({ev::paper_label(scheme), std::to_string(bit),
+               ut::CsvWriter::num(acc[static_cast<std::size_t>(bit)])});
+    }
+    return acc;
+  };
+
+  std::printf("Bit-position sensitivity: flip %llu words at one bit, %s, "
+              "baseline %.2f%%\n\n",
+              static_cast<unsigned long long>(words), model_name.c_str(),
+              pm.baseline_accuracy * 100.0);
+  ut::CsvWriter csv(cli.get("csv", "bit_sensitivity.csv"),
+                    {"scheme", "bit", "accuracy"});
+  const auto unprot = sweep(core::Scheme::relu, csv);
+  const auto fitact = sweep(core::Scheme::fitrelu, csv);
+
+  ut::TextTable table({"bit", "field", "Unprotected", "FitAct"});
+  for (int bit = 0; bit < 32; ++bit) {
+    const char* field = bit < 16 ? "fraction" : (bit < 31 ? "integer" : "sign");
+    table.row({std::to_string(bit), field,
+               ut::TextTable::percent(unprot[static_cast<std::size_t>(bit)]),
+               ut::TextTable::percent(fitact[static_cast<std::size_t>(bit)])});
+  }
+  table.print();
+  std::printf("\nExpected: fraction-bit flips are harmless to both; integer\n"
+              "bits 26+ collapse the unprotected model while FitAct's\n"
+              "neuron-wise bounds absorb them.\nCSV: %s\n",
+              csv.path().c_str());
+  return 0;
+}

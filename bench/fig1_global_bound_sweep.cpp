@@ -1,0 +1,117 @@
+// Reproduces paper Fig. 1: accuracy of VGG16 under faults as a function of
+// the *global* bound value of GBReLU applied to the second layer.
+//
+// Paper setup (Sec. III-C): faults are injected into the parameters of the
+// input layer and the second (convolutional) layer at rate 1e-5; the second
+// layer's ReLU is replaced by GBReLU with the swept bound; all other layers
+// keep plain ReLU. The plot shows (a) a large gap between the faulty and
+// baseline accuracy, and (b) a sweet spot: small bounds clip real signal,
+// large bounds let faults through.
+//
+// Scaled default: the bench model is width-scaled, so the default fault rate
+// is raised to keep the expected number of flips in the two target layers
+// comparable to the paper's full-width setup. Use --full for paper scale.
+//
+// Usage: fig1_global_bound_sweep [--rate R] [--trials N] [--full] [--csv P]
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/activation.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "fault/campaign.h"
+#include "quant/param_image.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fitact;
+  const ut::Cli cli(argc, argv);
+  ev::ExperimentScale scale = cli.get_flag("full")
+                                  ? ev::ExperimentScale::full()
+                                  : ev::ExperimentScale::scaled();
+  const std::int64_t trials = cli.get_int("trials", scale.trials);
+  const double rate =
+      cli.get_double("rate", cli.get_flag("full") ? 1e-5 : 3e-4);
+  ut::set_log_level(ut::LogLevel::warn);
+
+  ev::PreparedModel pm = ev::prepare_model("vgg16", 10, scale, "fitact_cache");
+  const double baseline = pm.baseline_accuracy;
+
+  // Profile once so the second activation site has per-neuron maxima (used
+  // both to size the sweep and to keep parity with the paper's workflow).
+  ev::protect_model(pm, core::Scheme::clip_act, scale);
+  ev::protect_model(pm, core::Scheme::relu, scale);
+  auto activations = core::collect_activations(*pm.model);
+  if (activations.size() < 2) {
+    std::fprintf(stderr, "unexpected VGG16 layout\n");
+    return 1;
+  }
+  auto& second_site = activations[1];
+  float layer_max = 0.0f;
+  for (const float v : second_site->profile_max().span()) {
+    layer_max = std::max(layer_max, v);
+  }
+
+  // Fault space: parameters of the input conv layer (Sequential index 0)
+  // and of the second conv layer (index 2; index 1 is the first activation
+  // site). All other parameters stay clean, as in the paper's case study.
+  const auto layer_filter = [](const std::string& name) {
+    return name.rfind("0.", 0) == 0 || name.rfind("2.", 0) == 0;
+  };
+
+  std::printf("Fig. 1 reproduction: VGG16 accuracy vs global bound of GBReLU "
+              "on layer 2\n");
+  std::printf("fault rate %.1e in layers 1-2, %lld trials/point, baseline "
+              "accuracy %.2f%%\n\n",
+              rate, static_cast<long long>(trials), baseline * 100.0);
+
+  ut::CsvWriter csv(cli.get("csv", "fig1_global_bound_sweep.csv"),
+                    {"bound", "acc_under_fault", "acc_clean_with_bound",
+                     "baseline"});
+  ut::TextTable table({"global bound", "acc under fault", "acc clean w/bound",
+                       "baseline"});
+
+  // The paper sweeps 0..4 because its VGG16 layer-2 maxima sit below 4
+  // (cf. its Fig. 2); this reproduction sizes the sweep from the profiled
+  // layer maximum instead, extending past it so the right-hand decline
+  // (bounds too loose to filter faults) is visible. Override: --max-bound.
+  const double max_bound =
+      cli.get_double("max-bound", static_cast<double>(layer_max) * 1.5);
+  const double step = cli.get_double("step", max_bound / 20.0);
+  ev::EvalConfig ec;
+  ec.max_samples = scale.eval_samples;
+  for (double bound = step; bound <= max_bound + 1e-9; bound += step) {
+    second_site->set_scheme(core::Scheme::clip_act);
+    second_site->set_layer_bound(static_cast<float>(bound));
+    const double clean = ev::evaluate_accuracy(*pm.model, *pm.test, ec);
+
+    quant::ParamImage image(*pm.model, false, layer_filter);
+    fault::Injector injector(image);
+    fault::CampaignConfig cc;
+    cc.bit_error_rate = rate;
+    cc.trials = trials;
+    cc.seed = 1357;
+    const auto result = fault::run_campaign(
+        injector,
+        [&] { return ev::evaluate_accuracy(*pm.model, *pm.test, ec); }, cc);
+
+    table.row({ut::TextTable::fixed(bound, 2),
+               ut::TextTable::percent(result.mean_accuracy),
+               ut::TextTable::percent(clean),
+               ut::TextTable::percent(baseline)});
+    csv.row_values({bound, result.mean_accuracy, clean, baseline});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (cf. paper Fig. 1): accuracy under fault peaks at an\n"
+      "intermediate bound; very small bounds destroy clean signal, very\n"
+      "large bounds stop filtering faults. The gap to the baseline line is\n"
+      "the motivation for per-neuron bounds.\nCSV: %s\n",
+      csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,137 @@
+// google-benchmark micro suite for the compute substrate: GEMM, conv2d
+// forward, the activation-function family (the per-element cost behind
+// Table I's runtime overhead), the fixed-point codec, and fault injection.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "core/activation.h"
+#include "quant/fixed_point.h"
+#include "quant/param_image.h"
+#include "fault/injector.h"
+#include "nn/layers.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fitact;
+
+void BM_Sgemm(benchmark::State& state) {
+  const auto n = state.range(0);
+  ut::Rng rng(1);
+  const Tensor a = Tensor::randn(Shape{n, n}, rng);
+  const Tensor b = Tensor::randn(Shape{n, n}, rng);
+  Tensor c = Tensor::zeros(Shape{n, n});
+  for (auto _ : state) {
+    sgemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f,
+          c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const auto ch = state.range(0);
+  ut::Rng rng(2);
+  const Variable x(Tensor::randn(Shape{1, ch, 32, 32}, rng), false);
+  const Variable w(Tensor::randn(Shape{ch, ch, 3, 3}, rng), false);
+  const NoGradGuard no_grad;
+  for (auto _ : state) {
+    const Variable y = ag::conv2d(x, w, Variable(), 1, 1);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void activation_bench(benchmark::State& state, core::Scheme scheme) {
+  constexpr std::int64_t kFeat = 16 * 16 * 16;
+  ut::Rng rng(3);
+  core::ActivationConfig cfg;
+  cfg.scheme = scheme;
+  cfg.granularity = core::Granularity::per_neuron;
+  core::BoundedActivation act(cfg);
+  const Variable x(
+      Tensor::rand_uniform(Shape{4, 16, 16, 16}, rng, -1.0f, 3.0f), false);
+  if (scheme != core::Scheme::relu) {
+    act.set_profiling(true);
+    act.forward(x);
+    act.set_profiling(false);
+    act.init_bounds_from_profile();
+  }
+  const NoGradGuard no_grad;
+  for (auto _ : state) {
+    const Variable y = act.forward(x);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * kFeat);
+}
+
+void BM_ActivationRelu(benchmark::State& state) {
+  activation_bench(state, core::Scheme::relu);
+}
+void BM_ActivationClipAct(benchmark::State& state) {
+  activation_bench(state, core::Scheme::clip_act);
+}
+void BM_ActivationRanger(benchmark::State& state) {
+  activation_bench(state, core::Scheme::ranger);
+}
+void BM_ActivationFitReluNaive(benchmark::State& state) {
+  activation_bench(state, core::Scheme::fitrelu_naive);
+}
+void BM_ActivationFitRelu(benchmark::State& state) {
+  activation_bench(state, core::Scheme::fitrelu);
+}
+BENCHMARK(BM_ActivationRelu);
+BENCHMARK(BM_ActivationClipAct);
+BENCHMARK(BM_ActivationRanger);
+BENCHMARK(BM_ActivationFitReluNaive);
+BENCHMARK(BM_ActivationFitRelu);
+
+void BM_FixedPointEncode(benchmark::State& state) {
+  ut::Rng rng(4);
+  std::vector<float> src(65536);
+  for (auto& v : src) v = rng.uniform(-100.0f, 100.0f);
+  std::vector<std::int32_t> dst(src.size());
+  for (auto _ : state) {
+    quant::encode_span(src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_FixedPointEncode);
+
+void BM_FixedPointDecode(benchmark::State& state) {
+  ut::Rng rng(5);
+  std::vector<std::int32_t> src(65536);
+  for (auto& v : src) v = static_cast<std::int32_t>(rng.next_u64());
+  std::vector<float> dst(src.size());
+  for (auto _ : state) {
+    quant::decode_span(src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_FixedPointDecode);
+
+void BM_FaultInjection(benchmark::State& state) {
+  ut::Rng rng(6);
+  nn::Sequential net;
+  net.add(std::make_shared<nn::Linear>(512, 512, true, rng));
+  quant::ParamImage image(net);
+  fault::Injector injector(image);
+  ut::Rng fault_rng(7);
+  for (auto _ : state) {
+    injector.inject(1e-5, fault_rng);
+    injector.restore();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(image.word_count()));
+}
+BENCHMARK(BM_FaultInjection);
+
+}  // namespace

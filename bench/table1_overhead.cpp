@@ -1,0 +1,114 @@
+// Reproduces paper Table I: runtime and memory overheads of deploying the
+// FitAct-protected model (FitReLU with per-neuron bounds) versus the
+// original ReLU model, for {ResNet50, VGG16, AlexNet} x {CIFAR-10,
+// CIFAR-100} in the inference stage.
+//
+// Runtime: mean single-image forward latency. Memory: parameter storage in
+// the Q1.15.16 image (weights + biases + BN affine [+ lambdas for FitAct]).
+// Timing needs no trained weights, so this bench runs in seconds; bounds
+// are seeded from a short profiling pass over synthetic data.
+//
+// Usage: table1_overhead [--reps 30] [--full]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/bound_profiler.h"
+#include "core/protection.h"
+#include "data/synthetic_cifar.h"
+#include "eval/experiment.h"
+#include "models/registry.h"
+#include "quant/param_image.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace fitact;
+
+double time_forward_ms(nn::Module& model, std::int64_t reps) {
+  ut::Rng rng(1);
+  const Variable x(Tensor::randn(Shape{1, 3, 32, 32}, rng), false);
+  const NoGradGuard no_grad;
+  model.set_training(false);
+  model.forward(x);  // warm-up
+  const ut::Timer timer;
+  for (std::int64_t i = 0; i < reps; ++i) model.forward(x);
+  return timer.elapsed_ms() / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ut::Cli cli(argc, argv);
+  const std::int64_t reps = cli.get_int("reps", 30);
+  const ev::ExperimentScale scale = cli.get_flag("full")
+                                        ? ev::ExperimentScale::full()
+                                        : ev::ExperimentScale::scaled();
+  ut::set_log_level(ut::LogLevel::warn);
+
+  std::printf("Table I reproduction: inference runtime and memory overhead "
+              "of FitAct vs ReLU\n\n");
+  ut::CsvWriter csv(cli.get("csv", "table1_overhead.csv"),
+                    {"dataset", "model", "runtime_relu_ms",
+                     "runtime_fitact_ms", "runtime_overhead_pct",
+                     "memory_relu_mb", "memory_fitact_mb",
+                     "memory_overhead_pct"});
+
+  for (const std::int64_t classes : {10, 100}) {
+    std::printf("CIFAR-%lld\n", static_cast<long long>(classes));
+    ut::TextTable table({"model", "ReLU ms", "FitAct ms", "runtime O/H",
+                         "ReLU Mb", "FitAct Mb", "memory O/H"});
+    for (const std::string model_name : {"resnet50", "vgg16", "alexnet"}) {
+      models::ModelConfig cfg;
+      cfg.num_classes = classes;
+      cfg.width_mult = scale.width_for(model_name);
+      auto model = models::make_model(model_name, cfg);
+
+      // Baseline: plain ReLU.
+      const double relu_ms = time_forward_ms(*model, reps);
+      const double relu_mb =
+          static_cast<double>(quant::ParamImage(*model).byte_count()) /
+          (1024.0 * 1024.0);
+
+      // FitAct: per-neuron FitReLU (bounds seeded via a short profile).
+      data::SyntheticCifarConfig dcfg;
+      dcfg.num_classes = classes;
+      dcfg.size = 32;
+      const data::SyntheticCifar ds(dcfg);
+      core::ProfileConfig pc;
+      pc.max_samples = 32;
+      core::profile_bounds(*model, ds, pc);
+      core::apply_protection(*model, core::Scheme::fitrelu);
+      const double fit_ms = time_forward_ms(*model, reps);
+      const double fit_mb =
+          static_cast<double>(quant::ParamImage(*model).byte_count()) /
+          (1024.0 * 1024.0);
+
+      const double rt_oh = (fit_ms / relu_ms - 1.0) * 100.0;
+      const double mem_oh = (fit_mb / relu_mb - 1.0) * 100.0;
+      table.row({model_name, ut::TextTable::fixed(relu_ms, 3),
+                 ut::TextTable::fixed(fit_ms, 3),
+                 ut::TextTable::fixed(rt_oh, 2) + "%",
+                 ut::TextTable::fixed(relu_mb, 2),
+                 ut::TextTable::fixed(fit_mb, 2),
+                 ut::TextTable::fixed(mem_oh, 2) + "%"});
+      csv.row({"CIFAR-" + std::to_string(classes), model_name,
+               ut::CsvWriter::num(relu_ms), ut::CsvWriter::num(fit_ms),
+               ut::CsvWriter::num(rt_oh), ut::CsvWriter::num(relu_mb),
+               ut::CsvWriter::num(fit_mb), ut::CsvWriter::num(mem_oh)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Paper reference (full width): runtime overhead 4.5-11.1%%, memory\n"
+      "overhead 0.6-5.4%% — small because convolutions dominate both\n"
+      "compute and storage.\nCSV: %s\n",
+      csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces paper Section VI-C1: the runtime of the FitAct post-training
+// stage relative to conventional training. The paper reports post-training
+// at ~5.9-6.7% of conventional training time (21 vs 340 min for ResNet50,
+// 4 vs 60 for VGG16, 1 vs 17 for AlexNet on CIFAR-10).
+//
+// The measured ratio tracks (post epochs x lambda-only backward cost) over
+// (train epochs x full backward cost); with the paper's 60-epoch training
+// schedule the ratio lands in single digits. The scaled default trains for
+// fewer epochs, so the printed ratio is higher — the paper row is printed
+// alongside for reference.
+//
+// Usage: train_overhead [--models vgg16,alexnet] [--full]
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bound_profiler.h"
+#include "core/post_training.h"
+#include "core/protection.h"
+#include "eval/experiment.h"
+#include "eval/trainer.h"
+#include "models/registry.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/table.h"
+
+namespace {
+std::vector<std::string> split_csv_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+double paper_ratio(const std::string& model) {
+  if (model == "resnet50") return 21.0 / 340.0;
+  if (model == "vgg16") return 4.0 / 60.0;
+  if (model == "alexnet") return 1.0 / 17.0;
+  return 0.0;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fitact;
+  const ut::Cli cli(argc, argv);
+  ev::ExperimentScale scale = cli.get_flag("full")
+                                  ? ev::ExperimentScale::full()
+                                  : ev::ExperimentScale::scaled();
+  if (!cli.get_flag("full")) {
+    // This bench measures a wall-time *ratio*, which is insensitive to the
+    // dataset size, so the scaled run uses a small split to stay fast
+    // (models are trained fresh here — caching would hide the time).
+    scale.train_size = cli.get_int("train-size", 512);
+  }
+  ut::set_log_level(ut::LogLevel::warn);
+  const auto models =
+      split_csv_list(cli.get("models", "resnet50,vgg16,alexnet"));
+
+  std::printf("Sec. VI-C1 reproduction: post-training vs conventional "
+              "training runtime\n\n");
+  ut::CsvWriter csv(cli.get("csv", "train_overhead.csv"),
+                    {"model", "conventional_s", "post_training_s",
+                     "measured_ratio_pct", "paper_ratio_pct"});
+  ut::TextTable table({"model", "conventional (s)", "post-training (s)",
+                       "measured ratio", "paper ratio"});
+
+  for (const auto& model_name : models) {
+    models::ModelConfig cfg;
+    cfg.width_mult = scale.width_for(model_name);
+    auto model = models::make_model(model_name, cfg);
+    const auto train =
+        ev::open_dataset(10, true, scale.train_size, /*seed=*/42);
+    const auto test = ev::open_dataset(10, false, scale.test_size, 42);
+
+    ev::TrainConfig tc;
+    tc.epochs = scale.train_epochs;
+    tc.batch_size = scale.train_batch;
+    const ev::TrainReport tr = ev::train_classifier(*model, *train, tc);
+
+    ev::EvalConfig ec;
+    ec.max_samples = scale.test_size;
+    const double baseline = ev::evaluate_accuracy(*model, *test, ec);
+
+    core::ProfileConfig pc;
+    pc.max_samples = scale.profile_samples;
+    core::profile_bounds(*model, *train, pc);
+    core::apply_protection(*model, core::Scheme::fitrelu);
+    const core::PostTrainReport pr = core::post_train_bounds(
+        *model, *train, *test, baseline, scale.post);
+
+    const double ratio = pr.wall_time_s / tr.wall_time_s;
+    table.row({model_name, ut::TextTable::fixed(tr.wall_time_s, 1),
+               ut::TextTable::fixed(pr.wall_time_s, 1),
+               ut::TextTable::fixed(ratio * 100.0, 1) + "%",
+               ut::TextTable::fixed(paper_ratio(model_name) * 100.0, 1) +
+                   "%"});
+    csv.row({model_name, ut::CsvWriter::num(tr.wall_time_s),
+             ut::CsvWriter::num(pr.wall_time_s),
+             ut::CsvWriter::num(ratio * 100.0),
+             ut::CsvWriter::num(paper_ratio(model_name) * 100.0)});
+  }
+  table.print();
+  std::printf(
+      "\nNote: the paper trains for ~60 epochs; the scaled bench trains for\n"
+      "%lld, which inflates the measured ratio. Run with --full to restore\n"
+      "the paper's schedule.\nCSV: %s\n",
+      static_cast<long long>(scale.train_epochs), csv.path().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Tour of the activation zoo as a library user sees it: build one
+// BoundedActivation, profile it, and watch how each scheme transforms the
+// same faulty input vector. Useful for building intuition about why
+// per-neuron bounds (FitAct) remove faults that per-layer bounds miss.
+//
+// Run: ./activation_zoo
+#include <cstdio>
+
+#include "autograd/variable.h"
+#include "core/activation.h"
+#include "util/table.h"
+
+int main() {
+  using namespace fitact;
+
+  // One layer with four neurons whose normal operating ranges differ wildly
+  // (cf. paper Fig. 2: per-neuron maxima vary across a layer).
+  const float neuron_max[4] = {0.6f, 1.2f, 2.5f, 4.0f};
+
+  core::ActivationConfig cfg;
+  cfg.granularity = core::Granularity::per_neuron;
+  cfg.k = 8.0f;
+  core::BoundedActivation act(cfg);
+
+  // Profile with inputs at each neuron's normal maximum.
+  Tensor profile = Tensor::zeros(Shape{1, 4});
+  for (std::int64_t i = 0; i < 4; ++i) profile[i] = neuron_max[i];
+  act.set_profiling(true);
+  act.forward(Variable(profile, false));
+  act.set_profiling(false);
+
+  // A faulty activation vector: neuron 1 got hit by a parameter bit flip
+  // upstream and produces 3.0 — far beyond its normal 1.2, but *below* the
+  // layer-wide maximum of 4.0.
+  Tensor faulty = Tensor::zeros(Shape{1, 4});
+  faulty[0] = 0.5f;
+  faulty[1] = 3.0f;  // faulty: normal range is <= 1.2
+  faulty[2] = 2.0f;
+  faulty[3] = 3.5f;
+
+  ut::TextTable table({"scheme", "granularity", "n0 (0.5)", "n1 (3.0, FAULTY)",
+                       "n2 (2.0)", "n3 (3.5)"});
+  struct Row {
+    core::Scheme scheme;
+    core::Granularity gran;
+  };
+  for (const Row r : {Row{core::Scheme::relu, core::Granularity::per_layer},
+                      Row{core::Scheme::ranger, core::Granularity::per_layer},
+                      Row{core::Scheme::clip_act, core::Granularity::per_layer},
+                      Row{core::Scheme::fitrelu_naive,
+                          core::Granularity::per_neuron},
+                      Row{core::Scheme::fitrelu,
+                          core::Granularity::per_neuron}}) {
+    act.set_scheme(r.scheme);
+    if (r.scheme != core::Scheme::relu) {
+      act.set_granularity(r.gran);
+      act.init_bounds_from_profile();
+    }
+    const Variable y = act.forward(Variable(faulty, false));
+    table.row({core::to_string(r.scheme), core::to_string(r.gran),
+               ut::TextTable::fixed(y.value()[0], 3),
+               ut::TextTable::fixed(y.value()[1], 3),
+               ut::TextTable::fixed(y.value()[2], 3),
+               ut::TextTable::fixed(y.value()[3], 3)});
+  }
+  table.print();
+
+  std::printf(
+      "\nNeuron 1's faulty value (3.0) slips past every per-layer bound\n"
+      "(the layer max is 4.0) but is removed by the per-neuron schemes,\n"
+      "whose bound for that neuron is its own profiled maximum (1.2).\n"
+      "This is the core observation motivating FitAct (paper Sec. III-C).\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "autograd/variable.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fitact {
+namespace {
+thread_local bool tl_grad_enabled = true;
+}
+
+bool grad_enabled() noexcept { return tl_grad_enabled; }
+
+NoGradGuard::NoGradGuard() noexcept : previous_(tl_grad_enabled) {
+  tl_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { tl_grad_enabled = previous_; }
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : impl_(std::make_shared<detail::VarImpl>()) {
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+}
+
+Variable Variable::from_op(Tensor value, std::vector<Variable> parents,
+                           BackwardFn backward) {
+  Variable out(std::move(value));
+  bool any = false;
+  for (const auto& p : parents) {
+    if (p.defined() && p.requires_grad()) {
+      any = true;
+      break;
+    }
+  }
+  if (any && tl_grad_enabled) {
+    out.impl_->requires_grad = true;
+    out.impl_->parents.reserve(parents.size());
+    for (const auto& p : parents) {
+      if (p.defined()) out.impl_->parents.push_back(p.impl());
+    }
+    out.impl_->backward = std::move(backward);
+  }
+  return out;
+}
+
+const Tensor& Variable::value() const {
+  if (!impl_) throw std::logic_error("Variable::value on undefined Variable");
+  return impl_->value;
+}
+
+Tensor& Variable::value() {
+  if (!impl_) throw std::logic_error("Variable::value on undefined Variable");
+  return impl_->value;
+}
+
+const Shape& Variable::shape() const { return value().shape(); }
+
+std::int64_t Variable::numel() const { return value().numel(); }
+
+bool Variable::requires_grad() const noexcept {
+  return impl_ && impl_->requires_grad;
+}
+
+void Variable::set_requires_grad(bool v) {
+  if (!impl_) throw std::logic_error("set_requires_grad on undefined");
+  impl_->requires_grad = v;
+}
+
+Tensor& Variable::grad() {
+  if (!impl_ || !impl_->grad.defined()) {
+    throw std::logic_error("Variable::grad absent; call ensure_grad/backward");
+  }
+  return impl_->grad;
+}
+
+const Tensor& Variable::grad() const {
+  if (!impl_ || !impl_->grad.defined()) {
+    throw std::logic_error("Variable::grad absent; call ensure_grad/backward");
+  }
+  return impl_->grad;
+}
+
+bool Variable::has_grad() const noexcept {
+  return impl_ && impl_->grad.defined();
+}
+
+void Variable::ensure_grad() {
+  if (!impl_) throw std::logic_error("ensure_grad on undefined Variable");
+  if (!impl_->grad.defined()) impl_->grad = Tensor::zeros(impl_->value.shape());
+}
+
+void Variable::zero_grad() {
+  if (impl_ && impl_->grad.defined()) impl_->grad.fill(0.0f);
+}
+
+void Variable::backward() { backward(Tensor::ones(shape())); }
+
+void Variable::backward(const Tensor& seed) {
+  if (!impl_) throw std::logic_error("backward on undefined Variable");
+  if (seed.numel() != impl_->value.numel()) {
+    throw std::invalid_argument("backward seed numel mismatch");
+  }
+
+  // Iterative post-order DFS to produce a topological order of the subgraph.
+  std::vector<detail::VarImpl*> topo;
+  std::unordered_set<detail::VarImpl*> visited;
+  struct Frame {
+    detail::VarImpl* node;
+    std::size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      detail::VarImpl* parent = f.node->parents[f.next_parent++].get();
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  // Allocate grads for every node in the sweep, seed the root.
+  for (auto* node : topo) {
+    if (!node->grad.defined()) node->grad = Tensor::zeros(node->value.shape());
+  }
+  {
+    Tensor& g = impl_->grad;
+    for (std::int64_t i = 0; i < g.numel(); ++i) g[i] += seed[i];
+  }
+
+  // topo ends with the root; walk backwards (reverse topological order).
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    detail::VarImpl* node = *it;
+    if (node->backward) node->backward(node->grad);
+  }
+}
+
+}  // namespace fitact

@@ -1,0 +1,105 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A Variable wraps a Tensor value plus (optionally) a node in the dynamic
+// compute graph: parent links and a backward closure that scatters this
+// node's accumulated gradient into its parents' gradients. backward() walks
+// the graph in reverse topological order.
+//
+// Gradients are only tracked while grad mode is enabled (see NoGradGuard)
+// and at least one operand requires a gradient — inference runs allocate no
+// graph nodes at all.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fitact {
+
+namespace detail {
+struct VarImpl;
+}
+
+/// Receives the node's accumulated output gradient; must accumulate (+=)
+/// into the parents' grad tensors.
+using BackwardFn = std::function<void(const Tensor& grad_out)>;
+
+class Variable {
+ public:
+  Variable() = default;
+
+  /// Leaf variable. Set requires_grad for trainable parameters.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// Interior graph node produced by an op. The backward closure must
+  /// capture the parents' impls it writes to.
+  static Variable from_op(Tensor value, std::vector<Variable> parents,
+                          BackwardFn backward);
+
+  [[nodiscard]] bool defined() const noexcept { return impl_ != nullptr; }
+
+  [[nodiscard]] const Tensor& value() const;
+  [[nodiscard]] Tensor& value();
+  [[nodiscard]] const Shape& shape() const;
+  [[nodiscard]] std::int64_t numel() const;
+
+  [[nodiscard]] bool requires_grad() const noexcept;
+  void set_requires_grad(bool v);
+
+  /// Gradient tensor; ensure_grad() must have been called (backward() does).
+  [[nodiscard]] Tensor& grad();
+  [[nodiscard]] const Tensor& grad() const;
+  [[nodiscard]] bool has_grad() const noexcept;
+
+  /// Allocate a zero gradient if absent.
+  void ensure_grad();
+  /// Zero the gradient if allocated.
+  void zero_grad();
+
+  /// Reverse-mode sweep from this node. For non-scalar outputs a seed
+  /// gradient of ones is used; pass an explicit seed to override.
+  void backward();
+  void backward(const Tensor& seed);
+
+  /// Identity comparison (same graph node).
+  [[nodiscard]] bool is_same(const Variable& other) const noexcept {
+    return impl_ == other.impl_;
+  }
+
+  [[nodiscard]] const std::shared_ptr<detail::VarImpl>& impl() const noexcept {
+    return impl_;
+  }
+
+ private:
+  std::shared_ptr<detail::VarImpl> impl_;
+};
+
+namespace detail {
+struct VarImpl {
+  Tensor value;
+  Tensor grad;  // undefined until ensure_grad
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<VarImpl>> parents;
+  BackwardFn backward;
+};
+}  // namespace detail
+
+/// True while gradient recording is enabled (default on; thread-local).
+[[nodiscard]] bool grad_enabled() noexcept;
+
+/// RAII guard that disables gradient recording in its scope.
+class NoGradGuard {
+ public:
+  NoGradGuard() noexcept;
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace fitact

@@ -1,0 +1,202 @@
+#include "core/activation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "autograd/ops.h"
+
+namespace fitact::core {
+
+std::string to_string(Scheme s) {
+  switch (s) {
+    case Scheme::relu:
+      return "relu";
+    case Scheme::clip_act:
+      return "clip_act";
+    case Scheme::ranger:
+      return "ranger";
+    case Scheme::fitrelu_naive:
+      return "fitrelu_naive";
+    case Scheme::fitrelu:
+      return "fitrelu";
+  }
+  return "?";
+}
+
+std::string to_string(Granularity g) {
+  switch (g) {
+    case Granularity::per_layer:
+      return "per_layer";
+    case Granularity::per_channel:
+      return "per_channel";
+    case Granularity::per_neuron:
+      return "per_neuron";
+  }
+  return "?";
+}
+
+BoundedActivation::BoundedActivation(const ActivationConfig& config)
+    : config_(config) {}
+
+void BoundedActivation::observe_geometry(const Shape& xs) {
+  std::int64_t feat = 0;
+  std::int64_t channels = 0;
+  std::int64_t hw = 1;
+  if (xs.rank() == 2) {
+    feat = xs[1];
+    channels = xs[1];
+  } else if (xs.rank() == 4) {
+    feat = xs[1] * xs[2] * xs[3];
+    channels = xs[1];
+    hw = xs[2] * xs[3];
+  } else {
+    throw std::invalid_argument("BoundedActivation: rank-2/4 input expected, got " +
+                                xs.str());
+  }
+  if (feat_ == 0) {
+    feat_ = feat;
+    channels_ = channels;
+    hw_ = hw;
+  } else if (feat_ != feat) {
+    throw std::logic_error(
+        "BoundedActivation: input feature extent changed between forwards (" +
+        std::to_string(feat_) + " -> " + std::to_string(feat) +
+        "); per-neuron bounds require a fixed activation-map shape");
+  }
+}
+
+void BoundedActivation::update_profile(const Tensor& x) {
+  if (!profile_max_.defined()) {
+    profile_max_ = Tensor::zeros(Shape{feat_});
+  }
+  const std::int64_t batch = x.numel() / feat_;
+  const float* px = x.data();
+  float* pm = profile_max_.data();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* row = px + b * feat_;
+    for (std::int64_t f = 0; f < feat_; ++f) {
+      if (row[f] > pm[f]) pm[f] = row[f];
+    }
+  }
+}
+
+void BoundedActivation::init_bounds_from_profile(float margin) {
+  if (!profile_max_.defined()) {
+    throw std::logic_error(
+        "BoundedActivation: no profile recorded; run a profiling pass before "
+        "init_bounds_from_profile");
+  }
+  std::int64_t extent = 0;
+  switch (config_.granularity) {
+    case Granularity::per_layer:
+      extent = 1;
+      break;
+    case Granularity::per_channel:
+      extent = channels_;
+      break;
+    case Granularity::per_neuron:
+      extent = feat_;
+      break;
+  }
+  Tensor b = Tensor::zeros(Shape{extent});
+  const float* pm = profile_max_.data();
+  if (config_.granularity == Granularity::per_neuron) {
+    for (std::int64_t f = 0; f < feat_; ++f) b[f] = pm[f] * margin;
+  } else if (config_.granularity == Granularity::per_channel) {
+    for (std::int64_t f = 0; f < feat_; ++f) {
+      const std::int64_t c = f / hw_;
+      b[c] = std::max(b[c], pm[f] * margin);
+    }
+  } else {
+    float mx = 0.0f;
+    for (std::int64_t f = 0; f < feat_; ++f) mx = std::max(mx, pm[f]);
+    b[0] = mx * margin;
+  }
+
+  if (bounds_.defined() && bounds_.numel() == extent) {
+    bounds_.value().copy_from(b);
+  } else {
+    bounds_ = Variable(std::move(b), /*requires_grad=*/false);
+    register_or_replace_parameter("lambda", bounds_);
+    bounds_registered_ = true;
+  }
+}
+
+void BoundedActivation::set_layer_bound(float bound) {
+  config_.granularity = Granularity::per_layer;
+  Tensor b = Tensor::full(Shape{1}, bound);
+  if (bounds_.defined() && bounds_.numel() == 1) {
+    bounds_.value().copy_from(b);
+  } else {
+    bounds_ = Variable(std::move(b), false);
+    register_or_replace_parameter("lambda", bounds_);
+    bounds_registered_ = true;
+  }
+}
+
+Variable BoundedActivation::forward(const Variable& x) {
+  observe_geometry(x.shape());
+  if (profiling_) {
+    update_profile(x.value());
+    return ag::relu(x);
+  }
+  Variable input = x;
+  if (corruptor_) {
+    Tensor corrupted = x.value().clone();
+    corruptor_(corrupted);
+    input = Variable(std::move(corrupted), false);
+  }
+  const Variable& xin = input;
+  switch (config_.scheme) {
+    case Scheme::relu:
+      return ag::relu(xin);
+    case Scheme::clip_act:
+    case Scheme::fitrelu_naive: {
+      if (!bounds_.defined()) {
+        throw std::logic_error("BoundedActivation(" + to_string(config_.scheme) +
+                               "): bounds not initialised");
+      }
+      return ag::clipped_relu(xin, bounds_.value(), ag::ClipMode::zero_above);
+    }
+    case Scheme::ranger: {
+      if (!bounds_.defined()) {
+        throw std::logic_error("BoundedActivation(ranger): bounds not initialised");
+      }
+      return ag::clipped_relu(xin, bounds_.value(), ag::ClipMode::saturate);
+    }
+    case Scheme::fitrelu: {
+      if (!bounds_.defined()) {
+        throw std::logic_error("BoundedActivation(fitrelu): bounds not initialised");
+      }
+      return ag::fitrelu(xin, bounds_, config_.k);
+    }
+  }
+  throw std::logic_error("BoundedActivation: unknown scheme");
+}
+
+namespace {
+void collect_impl(const nn::Module& m,
+                  std::vector<std::shared_ptr<BoundedActivation>>& out) {
+  for (const auto& [name, child] : m.children()) {
+    if (auto act = std::dynamic_pointer_cast<BoundedActivation>(child)) {
+      out.push_back(act);
+    }
+    collect_impl(*child, out);
+  }
+}
+}  // namespace
+
+std::vector<std::shared_ptr<BoundedActivation>> collect_activations(
+    const nn::Module& root) {
+  std::vector<std::shared_ptr<BoundedActivation>> out;
+  collect_impl(root, out);
+  return out;
+}
+
+std::int64_t total_bound_count(const nn::Module& root) {
+  std::int64_t n = 0;
+  for (const auto& act : collect_activations(root)) n += act->bound_count();
+  return n;
+}
+
+}  // namespace fitact::core

@@ -1,0 +1,32 @@
+#include "core/bound_profiler.h"
+
+#include <algorithm>
+
+#include "autograd/variable.h"
+
+namespace fitact::core {
+
+std::int64_t profile_bounds(nn::Module& model, const data::Dataset& dataset,
+                            const ProfileConfig& config) {
+  const auto activations = collect_activations(model);
+  for (const auto& act : activations) act->set_profiling(true);
+  model.set_training(false);
+
+  const std::int64_t total =
+      config.max_samples > 0 ? std::min(config.max_samples, dataset.size())
+                             : dataset.size();
+  const NoGradGuard no_grad;
+  std::int64_t done = 0;
+  while (done < total) {
+    const std::int64_t count =
+        std::min<std::int64_t>(config.batch_size, total - done);
+    Tensor images = dataset.batch(done, count, nullptr);
+    model.forward(Variable(std::move(images)));
+    done += count;
+  }
+
+  for (const auto& act : activations) act->set_profiling(false);
+  return done;
+}
+
+}  // namespace fitact::core

@@ -1,0 +1,26 @@
+// Profiling pass: drives a trained model over (a subset of) the training
+// data with profiling enabled on every activation site, so each site records
+// its per-neuron maximum activation. These maxima initialise the activation
+// bounds — per neuron for FitAct (paper: "initialize the bound parameters
+// Theta_R for each neuron to their maximum values over the training
+// dataset"), per layer for Clip-Act / Ranger (paper Section III-C).
+#pragma once
+
+#include <cstdint>
+
+#include "core/activation.h"
+#include "data/dataset.h"
+
+namespace fitact::core {
+
+struct ProfileConfig {
+  std::int64_t max_samples = 1024;  ///< cap on profiled samples (<=0: all)
+  std::int64_t batch_size = 64;
+};
+
+/// Runs the profiling pass (model is put in eval mode, gradients off).
+/// Returns the number of samples profiled.
+std::int64_t profile_bounds(nn::Module& model, const data::Dataset& dataset,
+                            const ProfileConfig& config = {});
+
+}  // namespace fitact::core

@@ -1,0 +1,32 @@
+#include "core/protection.h"
+
+namespace fitact::core {
+
+ProtectionOptions default_options(Scheme scheme) {
+  ProtectionOptions o;
+  switch (scheme) {
+    case Scheme::clip_act:
+    case Scheme::ranger:
+      o.granularity = Granularity::per_layer;
+      break;
+    case Scheme::fitrelu:
+    case Scheme::fitrelu_naive:
+    case Scheme::relu:
+      o.granularity = Granularity::per_neuron;
+      break;
+  }
+  return o;
+}
+
+void apply_protection(nn::Module& model, Scheme scheme,
+                      const ProtectionOptions& options) {
+  for (const auto& act : collect_activations(model)) {
+    act->set_scheme(scheme);
+    act->set_steepness(options.k);
+    if (scheme == Scheme::relu) continue;
+    act->set_granularity(options.granularity);
+    act->init_bounds_from_profile(options.margin);
+  }
+}
+
+}  // namespace fitact::core

@@ -1,0 +1,38 @@
+// Protection application: switches every activation site of a profiled
+// model to a protection scheme and initialises its bounds.
+//
+//   apply_protection(model, Scheme::clip_act)   -> Clip-Act  (layer bounds)
+//   apply_protection(model, Scheme::ranger)     -> Ranger    (layer bounds)
+//   apply_protection(model, Scheme::fitrelu)    -> FitAct    (neuron bounds;
+//                                        post-train with core/post_training)
+#pragma once
+
+#include "core/activation.h"
+
+namespace fitact::core {
+
+struct ProtectionOptions {
+  /// Bound granularity for the bounded schemes. Clip-Act and Ranger use
+  /// per-layer bounds in the paper; FitAct uses per-neuron. Overridable for
+  /// the granularity ablation.
+  Granularity granularity = Granularity::per_neuron;
+  /// Multiplier applied to profiled maxima when seeding bounds.
+  float margin = 1.0f;
+  /// FitReLU steepness.
+  float k = 8.0f;
+};
+
+/// Default options matching the paper for the given scheme.
+[[nodiscard]] ProtectionOptions default_options(Scheme scheme);
+
+/// Switch all activation sites to `scheme` and seed bounds from the profile
+/// (no-op bound initialisation for Scheme::relu). Requires profile_bounds()
+/// to have run for bounded schemes.
+void apply_protection(nn::Module& model, Scheme scheme,
+                      const ProtectionOptions& options);
+
+inline void apply_protection(nn::Module& model, Scheme scheme) {
+  apply_protection(model, scheme, default_options(scheme));
+}
+
+}  // namespace fitact::core

@@ -1,0 +1,38 @@
+#include "data/data_loader.h"
+
+#include <numeric>
+
+namespace fitact::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::int64_t batch_size,
+                       bool shuffle, std::uint64_t seed)
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  order_.resize(static_cast<std::size_t>(dataset.size()));
+  std::iota(order_.begin(), order_.end(), 0u);
+  start_epoch();
+}
+
+std::int64_t DataLoader::batches_per_epoch() const noexcept {
+  return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch() {
+  cursor_ = 0;
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+bool DataLoader::next(Batch& out) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t end =
+      std::min(order_.size(), cursor_ + static_cast<std::size_t>(batch_size_));
+  const std::vector<std::size_t> indices(order_.begin() + static_cast<long>(cursor_),
+                                         order_.begin() + static_cast<long>(end));
+  cursor_ = end;
+  out.images = dataset_->gather(indices, &out.labels);
+  return true;
+}
+
+}  // namespace fitact::data

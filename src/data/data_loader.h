@@ -1,0 +1,40 @@
+// Mini-batch iteration with per-epoch shuffling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace fitact::data {
+
+struct Batch {
+  Tensor images;                     // [B, 3, 32, 32]
+  std::vector<std::int64_t> labels;  // B entries
+};
+
+class DataLoader {
+ public:
+  DataLoader(const Dataset& dataset, std::int64_t batch_size, bool shuffle,
+             std::uint64_t seed);
+
+  /// Number of batches per epoch (last partial batch included).
+  [[nodiscard]] std::int64_t batches_per_epoch() const noexcept;
+
+  /// Reset to the start of a new epoch (reshuffles when enabled).
+  void start_epoch();
+
+  /// Fetch the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+ private:
+  const Dataset* dataset_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  ut::Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace fitact::data

@@ -1,0 +1,41 @@
+#include "data/dataset.h"
+
+#include <stdexcept>
+
+namespace fitact::data {
+
+Tensor Dataset::batch(std::int64_t begin, std::int64_t count,
+                      std::vector<std::int64_t>* labels_out) const {
+  if (begin < 0 || begin + count > size()) {
+    throw std::out_of_range("Dataset::batch range");
+  }
+  Tensor out(Shape{count, kImageChannels, kImageHeight, kImageWidth});
+  if (labels_out != nullptr) {
+    labels_out->clear();
+    labels_out->reserve(static_cast<std::size_t>(count));
+  }
+  for (std::int64_t i = 0; i < count; ++i) {
+    image_into(begin + i, out.data() + i * kImageNumel);
+    if (labels_out != nullptr) labels_out->push_back(label(begin + i));
+  }
+  return out;
+}
+
+Tensor Dataset::gather(const std::vector<std::size_t>& indices,
+                       std::vector<std::int64_t>* labels_out) const {
+  Tensor out(Shape{static_cast<std::int64_t>(indices.size()), kImageChannels,
+                   kImageHeight, kImageWidth});
+  if (labels_out != nullptr) {
+    labels_out->clear();
+    labels_out->reserve(indices.size());
+  }
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto idx = static_cast<std::int64_t>(indices[i]);
+    if (idx >= size()) throw std::out_of_range("Dataset::gather index");
+    image_into(idx, out.data() + static_cast<std::int64_t>(i) * kImageNumel);
+    if (labels_out != nullptr) labels_out->push_back(label(idx));
+  }
+  return out;
+}
+
+}  // namespace fitact::data

@@ -1,0 +1,39 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/tensor_ops.h"
+
+namespace fitact::ev {
+
+double evaluate_accuracy(nn::Module& model, const data::Dataset& dataset,
+                         const EvalConfig& config) {
+  const NoGradGuard no_grad;
+  model.set_training(false);
+  const std::int64_t total = config.max_samples > 0
+                                 ? std::min(config.max_samples, dataset.size())
+                                 : dataset.size();
+  std::int64_t correct = 0;
+  std::int64_t done = 0;
+  std::vector<std::int64_t> labels;
+  while (done < total) {
+    const std::int64_t count =
+        std::min<std::int64_t>(config.batch_size, total - done);
+    Tensor images = dataset.batch(done, count, &labels);
+    const Variable out = model.forward(Variable(std::move(images)));
+    const auto pred = argmax_rows(out.value());
+    for (std::int64_t i = 0; i < count; ++i) {
+      if (pred[static_cast<std::size_t>(i)] ==
+          labels[static_cast<std::size_t>(i)]) {
+        ++correct;
+      }
+    }
+    done += count;
+  }
+  return total > 0 ? static_cast<double>(correct) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace fitact::ev

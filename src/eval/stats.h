@@ -1,0 +1,24 @@
+// Summary statistics for campaign accuracy distributions (five-number
+// summaries feed the Fig. 5 box-plot reproduction).
+#pragma once
+
+#include <vector>
+
+namespace fitact::ev {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Five-number summary plus mean/stddev. Quartiles use linear interpolation
+/// between order statistics (type-7, the numpy default).
+[[nodiscard]] Summary summarize(std::vector<double> values);
+
+}  // namespace fitact::ev

@@ -1,0 +1,40 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+
+namespace fitact::fault {
+
+CampaignResult run_campaign(Injector& injector,
+                            const std::function<double()>& evaluate,
+                            const CampaignConfig& config) {
+  CampaignResult result;
+  result.accuracies.reserve(static_cast<std::size_t>(config.trials));
+  result.flip_counts.reserve(static_cast<std::size_t>(config.trials));
+  ut::Rng rng(config.seed);
+  FaultModel model = config.fault_model;
+  model.bit_error_rate = config.bit_error_rate;
+  for (std::int64_t t = 0; t < config.trials; ++t) {
+    ut::Rng trial_rng = rng.split();
+    const InjectionRecord rec = injector.inject(model, trial_rng);
+    const double acc = evaluate();
+    injector.restore();
+    result.accuracies.push_back(acc);
+    result.flip_counts.push_back(rec.fault_events);
+  }
+  if (!result.accuracies.empty()) {
+    double sum = 0.0;
+    double lo = result.accuracies.front();
+    double hi = lo;
+    for (const double a : result.accuracies) {
+      sum += a;
+      lo = std::min(lo, a);
+      hi = std::max(hi, a);
+    }
+    result.mean_accuracy = sum / static_cast<double>(result.accuracies.size());
+    result.min_accuracy = lo;
+    result.max_accuracy = hi;
+  }
+  return result;
+}
+
+}  // namespace fitact::fault

@@ -1,0 +1,38 @@
+// Fault-injection campaign: repeated inject -> evaluate -> restore trials at
+// a fixed bit error rate, producing the accuracy distribution behind the
+// paper's Fig. 5 (box plots) and Fig. 6 (means).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/injector.h"
+
+namespace fitact::fault {
+
+struct CampaignConfig {
+  double bit_error_rate = 1e-6;
+  std::int64_t trials = 16;
+  std::uint64_t seed = 1234;
+  /// Fault class and bit-range; bit_error_rate above overrides the model's
+  /// own rate field. Defaults to the paper's uniform transient bit flips.
+  FaultModel fault_model;
+};
+
+struct CampaignResult {
+  std::vector<double> accuracies;       ///< one entry per trial
+  std::vector<std::uint64_t> flip_counts;
+  double mean_accuracy = 0.0;
+  double min_accuracy = 0.0;
+  double max_accuracy = 0.0;
+};
+
+/// Runs the campaign. `evaluate` measures model accuracy on the (faulty)
+/// model and must not mutate parameters. The model is restored to the clean
+/// image after every trial and at the end.
+CampaignResult run_campaign(Injector& injector,
+                            const std::function<double()>& evaluate,
+                            const CampaignConfig& config);
+
+}  // namespace fitact::fault

@@ -1,0 +1,44 @@
+// Fault models beyond the paper's uniform transient bit flips.
+//
+// The paper's evaluation uses random bit *flips* over the whole parameter
+// image (FaultType::bit_flip with the full bit range). The additional
+// models cover the fault classes its related-work section cites:
+//   - stuck-at faults (permanent memory cell defects, cf. Zahid et al.),
+//   - burst faults (multi-bit upsets clustered inside one word),
+//   - bit-range targeting (e.g. restrict to high integer bits to study
+//     criticality, or to the fraction bits to model attenuated noise).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fitact::fault {
+
+enum class FaultType {
+  bit_flip,       ///< toggle the bit (transient upset; the paper's model)
+  stuck_at_one,   ///< force the bit to 1 (permanent defect)
+  stuck_at_zero,  ///< force the bit to 0 (permanent defect)
+  word_burst,     ///< flip `burst_length` adjacent bits within one word
+};
+
+[[nodiscard]] std::string to_string(FaultType t);
+
+struct FaultModel {
+  FaultType type = FaultType::bit_flip;
+  /// Probability that any given bit of the fault space is the anchor of a
+  /// fault event.
+  double bit_error_rate = 1e-6;
+  /// Adjacent bits flipped per event (word_burst only); clamped at the
+  /// word boundary.
+  int burst_length = 4;
+  /// Inclusive bit-position range eligible for faults (0 = fraction LSB,
+  /// 31 = sign bit). Defaults to the whole word.
+  int bit_lo = 0;
+  int bit_hi = 31;
+
+  [[nodiscard]] int range_width() const noexcept {
+    return bit_hi - bit_lo + 1;
+  }
+};
+
+}  // namespace fitact::fault

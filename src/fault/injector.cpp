@@ -1,0 +1,109 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "quant/fixed_point.h"
+
+namespace fitact::fault {
+
+std::string to_string(FaultType t) {
+  switch (t) {
+    case FaultType::bit_flip:
+      return "bit_flip";
+    case FaultType::stuck_at_one:
+      return "stuck_at_one";
+    case FaultType::stuck_at_zero:
+      return "stuck_at_zero";
+    case FaultType::word_burst:
+      return "word_burst";
+  }
+  return "?";
+}
+
+Injector::Injector(quant::ParamImage& image) : image_(&image) {}
+
+void Injector::begin_trial() { scratch_ = image_->clean_words(); }
+
+void Injector::commit_trial() { image_->write_back(scratch_); }
+
+void Injector::apply_event(std::uint64_t word, int bit,
+                           const FaultModel& model) {
+  auto& w = scratch_[static_cast<std::size_t>(word)];
+  const auto u = static_cast<std::uint32_t>(w);
+  switch (model.type) {
+    case FaultType::bit_flip:
+      w = quant::flip_bit(w, bit);
+      break;
+    case FaultType::stuck_at_one:
+      w = static_cast<std::int32_t>(u | (1u << bit));
+      break;
+    case FaultType::stuck_at_zero:
+      w = static_cast<std::int32_t>(u & ~(1u << bit));
+      break;
+    case FaultType::word_burst: {
+      const int end = std::min(32, bit + std::max(1, model.burst_length));
+      std::uint32_t mask = 0;
+      for (int b = bit; b < end; ++b) mask |= (1u << b);
+      w = static_cast<std::int32_t>(u ^ mask);
+      break;
+    }
+  }
+}
+
+InjectionRecord Injector::inject(const FaultModel& model, ut::Rng& rng) {
+  if (model.bit_lo < 0 || model.bit_hi > 31 || model.bit_lo > model.bit_hi) {
+    throw std::invalid_argument("Injector: invalid fault-model bit range");
+  }
+  const std::uint64_t eligible =
+      image_->word_count() * static_cast<std::uint64_t>(model.range_width());
+  const std::uint64_t k = rng.binomial(eligible, model.bit_error_rate);
+  begin_trial();
+  // Positions are indices into the (word, bit-in-range) grid; distinct so
+  // two events never cancel at the same anchor.
+  for (const auto pos : rng.sample_distinct(eligible, k)) {
+    const std::uint64_t word =
+        pos / static_cast<std::uint64_t>(model.range_width());
+    const int bit =
+        model.bit_lo +
+        static_cast<int>(pos % static_cast<std::uint64_t>(model.range_width()));
+    apply_event(word, bit, model);
+  }
+  commit_trial();
+  return InjectionRecord{k};
+}
+
+InjectionRecord Injector::inject(double bit_error_rate, ut::Rng& rng) {
+  FaultModel model;
+  model.type = FaultType::bit_flip;
+  model.bit_error_rate = bit_error_rate;
+  return inject(model, rng);
+}
+
+InjectionRecord Injector::inject_exact(std::uint64_t count, ut::Rng& rng) {
+  begin_trial();
+  FaultModel flip;  // defaults: bit_flip over the whole word
+  for (const auto pos : rng.sample_distinct(image_->bit_count(), count)) {
+    apply_event(pos / 32, static_cast<int>(pos % 32), flip);
+  }
+  commit_trial();
+  return InjectionRecord{count};
+}
+
+InjectionRecord Injector::inject_exact_at_bit(std::uint64_t count, int bit,
+                                              ut::Rng& rng) {
+  if (bit < 0 || bit > 31) {
+    throw std::invalid_argument("Injector: bit position out of range");
+  }
+  begin_trial();
+  FaultModel flip;
+  for (const auto word : rng.sample_distinct(image_->word_count(), count)) {
+    apply_event(word, bit, flip);
+  }
+  commit_trial();
+  return InjectionRecord{count};
+}
+
+void Injector::restore() { image_->restore(); }
+
+}  // namespace fitact::fault

@@ -1,0 +1,67 @@
+// Memory-fault injector (paper Section VI-A2).
+//
+// Fault model: random bit flips distributed uniformly over the bits of the
+// stored model parameters — "the weights and biases of different layers, as
+// well as parameters of activation functions, are considered as the fault
+// space". Parameters are stored in Q1.15.16 fixed point (src/quant); each
+// trial draws K ~ Binomial(total_bits, bit_error_rate) distinct bit
+// positions, flips them in a scratch copy of the parameter image, and writes
+// the decoded result into the live model. restore() returns the model to the
+// clean image.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_model.h"
+#include "quant/param_image.h"
+#include "util/rng.h"
+
+namespace fitact::fault {
+
+struct InjectionRecord {
+  std::uint64_t fault_events = 0;  ///< sampled anchor positions this trial
+};
+
+class Injector {
+ public:
+  /// The image defines the fault space; the injector keeps a scratch word
+  /// buffer so repeated trials allocate nothing.
+  explicit Injector(quant::ParamImage& image);
+
+  /// Apply a binomial number of fault events under the given model and
+  /// write the faulty parameters into the model. The event count is
+  /// Binomial(eligible_bits, bit_error_rate) over the model's bit range.
+  InjectionRecord inject(const FaultModel& model, ut::Rng& rng);
+
+  /// The paper's model: uniform bit flips over the whole image.
+  InjectionRecord inject(double bit_error_rate, ut::Rng& rng);
+
+  /// Flip exactly `count` distinct, uniformly chosen bits (whole range).
+  InjectionRecord inject_exact(std::uint64_t count, ut::Rng& rng);
+
+  /// Flip exactly `count` distinct uniformly chosen *words* at one fixed
+  /// bit position (the bit-criticality sweep used by bench/bit_sensitivity).
+  InjectionRecord inject_exact_at_bit(std::uint64_t count, int bit,
+                                      ut::Rng& rng);
+
+  /// Write the clean image back into the model.
+  void restore();
+
+  [[nodiscard]] std::uint64_t bit_count() const noexcept {
+    return image_->bit_count();
+  }
+  [[nodiscard]] std::uint64_t word_count() const noexcept {
+    return image_->word_count();
+  }
+
+ private:
+  void begin_trial();
+  void commit_trial();
+  void apply_event(std::uint64_t word, int bit, const FaultModel& model);
+
+  quant::ParamImage* image_;
+  std::vector<std::int32_t> scratch_;
+};
+
+}  // namespace fitact::fault

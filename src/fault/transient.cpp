@@ -1,0 +1,25 @@
+#include "fault/transient.h"
+
+#include <memory>
+
+#include "quant/fixed_point.h"
+#include "util/rng.h"
+
+namespace fitact::fault {
+
+ActivationCorruptor make_bitflip_corruptor(double bit_error_rate,
+                                           std::uint64_t seed) {
+  auto rng = std::make_shared<ut::Rng>(seed);
+  return [rng, bit_error_rate](Tensor& x) {
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(x.numel()) * 32u;
+    const std::uint64_t k = rng->binomial(bits, bit_error_rate);
+    for (const auto pos : rng->sample_distinct(bits, k)) {
+      const auto idx = static_cast<std::int64_t>(pos / 32);
+      const int bit = static_cast<int>(pos % 32);
+      x[idx] = quant::decode(quant::flip_bit(quant::encode(x[idx]), bit));
+    }
+  };
+}
+
+}  // namespace fitact::fault

@@ -1,0 +1,30 @@
+// Transient activation faults: soft errors that corrupt *computed
+// activation values* in flight rather than stored parameters. This is the
+// fault class Ranger (Chen et al., DSN 2021) was designed for; the FitAct
+// paper evaluates parameter-memory faults only, so this module is an
+// extension used by the ablation benches to compare the schemes on
+// Ranger's home turf as well.
+//
+// The corruptor treats each activation as a Q1.15.16 word and flips each
+// bit with the configured probability, mirroring the parameter fault model
+// so results are comparable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace fitact::fault {
+
+/// A callable that corrupts an activation tensor in place.
+using ActivationCorruptor = std::function<void(Tensor&)>;
+
+/// Build a corruptor that flips each bit of each activation's fixed-point
+/// representation with probability `bit_error_rate`. Deterministic per
+/// (seed, call index): each invocation advances an internal stream, so a
+/// forward pass through L hooked sites draws L independent fault patterns.
+[[nodiscard]] ActivationCorruptor make_bitflip_corruptor(
+    double bit_error_rate, std::uint64_t seed);
+
+}  // namespace fitact::fault

@@ -1,0 +1,17 @@
+// AlexNet, CIFAR variant: five 3x3 convolutions (the 11x11/5x5 ImageNet stem
+// does not fit 32x32 inputs) with the original channel progression
+// 64-192-384-256-256, three max-pools, and a three-layer classifier.
+// No normalisation layers, matching the original architecture.
+#pragma once
+
+#include <memory>
+
+#include "models/model_config.h"
+#include "nn/layers.h"
+
+namespace fitact::models {
+
+[[nodiscard]] std::shared_ptr<nn::Module> make_alexnet(
+    const ModelConfig& config);
+
+}  // namespace fitact::models

@@ -1,0 +1,34 @@
+// Shared configuration for the model zoo (paper Section VI-A1: AlexNet,
+// VGG16, ResNet50 on CIFAR-10/CIFAR-100).
+#pragma once
+
+#include <cstdint>
+
+#include "core/activation.h"
+
+namespace fitact::models {
+
+struct ModelConfig {
+  std::int64_t num_classes = 10;
+  /// Channel-width multiplier. 1.0 reproduces the paper-scale architecture;
+  /// the bench harnesses default to smaller widths so the full suite runs
+  /// on a small CPU container (see DESIGN.md).
+  float width_mult = 1.0f;
+  /// Configuration applied to every activation site.
+  core::ActivationConfig activation;
+  /// Insert BatchNorm after VGG16 convolutions. The original configuration D
+  /// has no normalisation (and the paper's wide per-layer activation ranges
+  /// depend on that); ResNet50 always uses BatchNorm regardless.
+  bool vgg_batchnorm = false;
+  /// Insert the original AlexNet's 0.5 dropout before the first two
+  /// classifier layers. Off by default: the scaled training budgets are too
+  /// small for heavy regularisation (enable for full-scale runs).
+  bool alexnet_dropout = false;
+  /// Weight-initialisation seed.
+  std::uint64_t seed = 42;
+};
+
+/// Scaled channel count: round(c * width_mult), floored at 4.
+[[nodiscard]] std::int64_t scaled(std::int64_t channels, float width_mult);
+
+}  // namespace fitact::models

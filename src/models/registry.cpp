@@ -1,0 +1,53 @@
+#include "models/registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "models/alexnet.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "util/rng.h"
+
+namespace fitact::models {
+
+std::int64_t scaled(std::int64_t channels, float width_mult) {
+  const auto s = static_cast<std::int64_t>(
+      std::lround(static_cast<double>(channels) * width_mult));
+  return std::max<std::int64_t>(4, s);
+}
+
+std::shared_ptr<nn::Module> make_tinycnn(const ModelConfig& config) {
+  ut::Rng rng(config.seed);
+  const auto w = [&](std::int64_t c) { return scaled(c, config.width_mult); };
+  const auto act = [&] {
+    return std::make_shared<core::BoundedActivation>(config.activation);
+  };
+  auto net = std::make_shared<nn::Sequential>();
+  net->add(std::make_shared<nn::Conv2d>(3, w(16), 3, 1, 1, true, rng));
+  net->add(act());
+  net->add(std::make_shared<nn::MaxPool2d>(2));  // 32 -> 16
+  net->add(std::make_shared<nn::Conv2d>(w(16), w(32), 3, 1, 1, true, rng));
+  net->add(act());
+  net->add(std::make_shared<nn::MaxPool2d>(4));  // 16 -> 4
+  net->add(std::make_shared<nn::Flatten>());
+  net->add(std::make_shared<nn::Linear>(w(32) * 4 * 4, w(64), true, rng));
+  net->add(act());
+  net->add(std::make_shared<nn::Linear>(w(64), config.num_classes, true, rng));
+  return net;
+}
+
+std::shared_ptr<nn::Module> make_model(const std::string& name,
+                                       const ModelConfig& config) {
+  if (name == "alexnet") return make_alexnet(config);
+  if (name == "vgg16") return make_vgg16(config);
+  if (name == "resnet50") return make_resnet50(config);
+  if (name == "tinycnn") return make_tinycnn(config);
+  throw std::invalid_argument("make_model: unknown model '" + name + "'");
+}
+
+std::vector<std::string> model_names() {
+  return {"alexnet", "vgg16", "resnet50", "tinycnn"};
+}
+
+}  // namespace fitact::models

@@ -1,0 +1,25 @@
+// Model registry: construction by name, as used by the bench harnesses and
+// examples ("alexnet", "vgg16", "resnet50", plus "tinycnn" for tests).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model_config.h"
+#include "nn/module.h"
+
+namespace fitact::models {
+
+/// Construct a model by name. Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::shared_ptr<nn::Module> make_model(const std::string& name,
+                                                     const ModelConfig& config);
+
+/// Names accepted by make_model.
+[[nodiscard]] std::vector<std::string> model_names();
+
+/// Small two-conv CNN used by the test suite and the quickstart example.
+[[nodiscard]] std::shared_ptr<nn::Module> make_tinycnn(
+    const ModelConfig& config);
+
+}  // namespace fitact::models

@@ -1,0 +1,98 @@
+#include "models/resnet.h"
+
+#include "autograd/ops.h"
+#include "util/rng.h"
+
+namespace fitact::models {
+namespace {
+
+/// Bottleneck residual block: 1x1 reduce -> 3x3 (stride) -> 1x1 expand, with
+/// BatchNorm after each convolution, activation sites after the first two
+/// and after the residual addition, and a projection shortcut when the
+/// geometry changes.
+class Bottleneck final : public nn::Module {
+ public:
+  Bottleneck(std::int64_t in_c, std::int64_t mid_c, std::int64_t out_c,
+             std::int64_t stride, const core::ActivationConfig& act_cfg,
+             ut::Rng& rng) {
+    conv1_ = register_module(
+        "conv1", std::make_shared<nn::Conv2d>(in_c, mid_c, 1, 1, 0, false, rng));
+    bn1_ = register_module("bn1", std::make_shared<nn::BatchNorm2d>(mid_c));
+    act1_ = register_module("act1",
+                            std::make_shared<core::BoundedActivation>(act_cfg));
+    conv2_ = register_module(
+        "conv2",
+        std::make_shared<nn::Conv2d>(mid_c, mid_c, 3, stride, 1, false, rng));
+    bn2_ = register_module("bn2", std::make_shared<nn::BatchNorm2d>(mid_c));
+    act2_ = register_module("act2",
+                            std::make_shared<core::BoundedActivation>(act_cfg));
+    conv3_ = register_module(
+        "conv3", std::make_shared<nn::Conv2d>(mid_c, out_c, 1, 1, 0, false, rng));
+    bn3_ = register_module("bn3", std::make_shared<nn::BatchNorm2d>(out_c));
+    if (stride != 1 || in_c != out_c) {
+      proj_conv_ = register_module(
+          "proj_conv",
+          std::make_shared<nn::Conv2d>(in_c, out_c, 1, stride, 0, false, rng));
+      proj_bn_ = register_module("proj_bn",
+                                 std::make_shared<nn::BatchNorm2d>(out_c));
+    }
+    act_out_ = register_module(
+        "act_out", std::make_shared<core::BoundedActivation>(act_cfg));
+  }
+
+  Variable forward(const Variable& x) override {
+    Variable h = act1_->forward(bn1_->forward(conv1_->forward(x)));
+    h = act2_->forward(bn2_->forward(conv2_->forward(h)));
+    h = bn3_->forward(conv3_->forward(h));
+    Variable shortcut = x;
+    if (proj_conv_) {
+      shortcut = proj_bn_->forward(proj_conv_->forward(x));
+    }
+    return act_out_->forward(ag::add(h, shortcut));
+  }
+
+ private:
+  std::shared_ptr<nn::Conv2d> conv1_, conv2_, conv3_, proj_conv_;
+  std::shared_ptr<nn::BatchNorm2d> bn1_, bn2_, bn3_, proj_bn_;
+  std::shared_ptr<core::BoundedActivation> act1_, act2_, act_out_;
+};
+
+}  // namespace
+
+std::shared_ptr<nn::Module> make_resnet50(const ModelConfig& config) {
+  ut::Rng rng(config.seed);
+  const auto w = [&](std::int64_t c) { return scaled(c, config.width_mult); };
+
+  auto net = std::make_shared<nn::Sequential>();
+  // Stem.
+  net->add(std::make_shared<nn::Conv2d>(3, w(64), 3, 1, 1, false, rng));
+  net->add(std::make_shared<nn::BatchNorm2d>(w(64)));
+  net->add(std::make_shared<core::BoundedActivation>(config.activation));
+
+  struct Stage {
+    std::int64_t blocks;
+    std::int64_t mid;
+    std::int64_t out;
+    std::int64_t stride;
+  };
+  const Stage stages[] = {
+      {3, w(64), w(256), 1},
+      {4, w(128), w(512), 2},
+      {6, w(256), w(1024), 2},
+      {3, w(512), w(2048), 2},
+  };
+  std::int64_t in_c = w(64);
+  for (const auto& st : stages) {
+    for (std::int64_t b = 0; b < st.blocks; ++b) {
+      const std::int64_t stride = (b == 0) ? st.stride : 1;
+      net->add(std::make_shared<Bottleneck>(in_c, st.mid, st.out, stride,
+                                            config.activation, rng));
+      in_c = st.out;
+    }
+  }
+  net->add(std::make_shared<nn::GlobalAvgPool>());
+  net->add(std::make_shared<nn::Linear>(in_c, config.num_classes, true, rng));
+  return net;
+}
+
+}  // namespace fitact::models

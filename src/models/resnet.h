@@ -1,0 +1,16 @@
+// ResNet-50, CIFAR variant: 3x3 stem (no initial max-pool at 32x32),
+// bottleneck stages [3, 4, 6, 3] with channel plan 256/512/1024/2048 and
+// stride-2 stage entries, global average pooling, linear classifier.
+#pragma once
+
+#include <memory>
+
+#include "models/model_config.h"
+#include "nn/layers.h"
+
+namespace fitact::models {
+
+[[nodiscard]] std::shared_ptr<nn::Module> make_resnet50(
+    const ModelConfig& config);
+
+}  // namespace fitact::models

@@ -1,0 +1,17 @@
+// VGG16, CIFAR variant (configuration D): thirteen 3x3 convolutions in five
+// blocks (64x2, 128x2, 256x3, 512x3, 512x3), each followed by an activation
+// site (BatchNorm optional, off by default as in the original architecture),
+// max-pool after each block (32 -> 1), then a two-layer FC classifier.
+#pragma once
+
+#include <memory>
+
+#include "models/model_config.h"
+#include "nn/layers.h"
+
+namespace fitact::models {
+
+[[nodiscard]] std::shared_ptr<nn::Module> make_vgg16(
+    const ModelConfig& config);
+
+}  // namespace fitact::models

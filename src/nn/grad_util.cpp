@@ -1,0 +1,30 @@
+#include "nn/grad_util.h"
+
+#include <cmath>
+
+namespace fitact::nn {
+
+double grad_norm(const std::vector<Variable>& params) {
+  double acc = 0.0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    for (const float g : p.grad().span()) {
+      acc += static_cast<double>(g) * g;
+    }
+  }
+  return std::sqrt(acc);
+}
+
+double clip_grad_norm(std::vector<Variable>& params, double max_norm) {
+  const double norm = grad_norm(params);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (auto& p : params) {
+      if (!p.has_grad()) continue;
+      for (auto& g : p.grad().span()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace fitact::nn

@@ -1,0 +1,19 @@
+// Gradient utilities: global-norm clipping (stabilises the BatchNorm-less
+// architectures early in training) and gradient statistics.
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace fitact::nn {
+
+/// L2 norm over all gradients in `params` (parameters without an allocated
+/// gradient contribute zero).
+[[nodiscard]] double grad_norm(const std::vector<Variable>& params);
+
+/// Scale all gradients so the global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double clip_grad_norm(std::vector<Variable>& params, double max_norm);
+
+}  // namespace fitact::nn

@@ -1,0 +1,19 @@
+// Weight initialisation schemes.
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fitact::nn {
+
+/// Kaiming/He normal init for ReLU-family networks: N(0, sqrt(2/fan_in)).
+void kaiming_normal(Tensor& w, std::int64_t fan_in, ut::Rng& rng);
+
+/// Kaiming uniform: U(-b, b) with b = sqrt(6/fan_in).
+void kaiming_uniform(Tensor& w, std::int64_t fan_in, ut::Rng& rng);
+
+/// Xavier/Glorot uniform: U(-b, b) with b = sqrt(6/(fan_in+fan_out)).
+void xavier_uniform(Tensor& w, std::int64_t fan_in, std::int64_t fan_out,
+                    ut::Rng& rng);
+
+}  // namespace fitact::nn

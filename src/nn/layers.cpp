@@ -1,0 +1,81 @@
+#include "nn/layers.h"
+
+#include "autograd/ops.h"
+#include "nn/init.h"
+
+namespace fitact::nn {
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+               bool bias, ut::Rng& rng)
+    : out_c_(out_channels), stride_(stride), padding_(padding) {
+  Tensor w(Shape{out_channels, in_channels, kernel, kernel});
+  kaiming_normal(w, in_channels * kernel * kernel, rng);
+  weight_ = register_parameter("weight", Variable(std::move(w), true));
+  if (bias) {
+    bias_ = register_parameter("bias",
+                               Variable(Tensor::zeros(Shape{out_channels}),
+                                        true));
+  }
+}
+
+Variable Conv2d::forward(const Variable& x) {
+  return ag::conv2d(x, weight_, bias_, stride_, padding_);
+}
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
+               ut::Rng& rng) {
+  Tensor w(Shape{out_features, in_features});
+  kaiming_uniform(w, in_features, rng);
+  weight_ = register_parameter("weight", Variable(std::move(w), true));
+  if (bias) {
+    bias_ = register_parameter(
+        "bias", Variable(Tensor::zeros(Shape{out_features}), true));
+  }
+}
+
+Variable Linear::forward(const Variable& x) {
+  return ag::linear(x, weight_, bias_);
+}
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
+    : momentum_(momentum), eps_(eps) {
+  gamma_ = register_parameter("weight",
+                              Variable(Tensor::ones(Shape{channels}), true));
+  beta_ = register_parameter("bias",
+                             Variable(Tensor::zeros(Shape{channels}), true));
+  running_mean_ = register_buffer("running_mean", Tensor::zeros(Shape{channels}));
+  running_var_ = register_buffer("running_var", Tensor::ones(Shape{channels}));
+}
+
+Variable BatchNorm2d::forward(const Variable& x) {
+  return ag::batch_norm2d(x, gamma_, beta_, running_mean_, running_var_,
+                          is_training(), momentum_, eps_);
+}
+
+MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
+    : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {}
+
+Variable MaxPool2d::forward(const Variable& x) {
+  return ag::max_pool2d(x, kernel_, stride_);
+}
+
+Variable GlobalAvgPool::forward(const Variable& x) {
+  return ag::global_avg_pool(x);
+}
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {}
+
+Variable Dropout::forward(const Variable& x) {
+  return ag::dropout(x, p_, is_training(), rng_);
+}
+
+Variable Flatten::forward(const Variable& x) { return ag::flatten(x); }
+
+Variable Sequential::forward(const Variable& x) {
+  Variable h = x;
+  for (auto& m : modules_) h = m->forward(h);
+  return h;
+}
+
+}  // namespace fitact::nn

@@ -1,0 +1,99 @@
+// Module: base class for layers and models.
+//
+// A module owns named parameters (trainable Variables), named buffers
+// (non-trainable Tensors such as BatchNorm running statistics), and named
+// child modules. named_parameters()/named_buffers() walk the tree and return
+// dotted paths ("features.3.weight"), which the serializer, the optimizers,
+// and the fault injector use as stable parameter identities.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace fitact::nn {
+
+struct NamedParam {
+  std::string name;
+  Variable var;
+};
+
+struct NamedBuffer {
+  std::string name;
+  Tensor tensor;
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  virtual Variable forward(const Variable& x) = 0;
+
+  /// Training vs evaluation mode (affects BatchNorm); recursive.
+  void set_training(bool training);
+  [[nodiscard]] bool is_training() const noexcept { return training_; }
+
+  /// All parameters in the subtree, with dotted path names.
+  [[nodiscard]] std::vector<NamedParam> named_parameters() const;
+  [[nodiscard]] std::vector<Variable> parameters() const;
+
+  /// All buffers (running statistics etc.) in the subtree.
+  [[nodiscard]] std::vector<NamedBuffer> named_buffers() const;
+
+  /// Zero every parameter gradient in the subtree.
+  void zero_grad();
+
+  /// Total parameter element count in the subtree.
+  [[nodiscard]] std::int64_t parameter_count() const;
+
+  /// Direct children, in registration order.
+  [[nodiscard]] const std::vector<std::pair<std::string,
+                                            std::shared_ptr<Module>>>&
+  children() const noexcept {
+    return children_;
+  }
+
+ protected:
+  /// Register a trainable parameter; returns a reference to the stored
+  /// Variable (which shares its impl with the caller's copy).
+  Variable& register_parameter(const std::string& name, Variable v);
+
+  /// Register, or overwrite an existing registration slot of the same name.
+  /// Used by activation sites whose bound extent can change when a model is
+  /// re-protected at a different granularity.
+  Variable& register_or_replace_parameter(const std::string& name, Variable v);
+
+  /// Register a non-trainable buffer; the stored Tensor shares storage with
+  /// the caller's copy, so in-place updates are visible both ways.
+  Tensor& register_buffer(const std::string& name, Tensor t);
+
+  /// Register a child module; returns the argument for chaining.
+  template <typename M>
+  std::shared_ptr<M> register_module(const std::string& name,
+                                     std::shared_ptr<M> m) {
+    children_.emplace_back(name, m);
+    return m;
+  }
+
+  /// Hook for subclasses that need to react to mode changes.
+  virtual void on_set_training(bool /*training*/) {}
+
+ private:
+  void collect_parameters(const std::string& prefix,
+                          std::vector<NamedParam>& out) const;
+  void collect_buffers(const std::string& prefix,
+                       std::vector<NamedBuffer>& out) const;
+
+  bool training_ = true;
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+};
+
+}  // namespace fitact::nn

@@ -1,0 +1,77 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace fitact::nn {
+
+Optimizer::Optimizer(std::vector<Variable> params)
+    : params_(std::move(params)) {}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (auto& p : params_) velocity_.push_back(Tensor::zeros(p.shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.value().data();
+    const float* g = p.grad().data();
+    float* vel = velocity_[i].data();
+    for (std::int64_t j = 0; j < p.numel(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      vel[j] = momentum_ * vel[j] + grad;
+      w[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.push_back(Tensor::zeros(p.shape()));
+    v_.push_back(Tensor::zeros(p.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    float* w = p.value().data();
+    const float* g = p.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (std::int64_t j = 0; j < p.numel(); ++j) {
+      const float grad = g[j] + weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace fitact::nn

@@ -1,0 +1,71 @@
+// Gradient-descent optimisers. Both take an explicit parameter list, which
+// is how the FitAct post-training stage restricts updates to the activation
+// bounds (paper: "only bound values Theta_R would be adjusted").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace fitact::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  [[nodiscard]] const std::vector<Variable>& params() const noexcept {
+    return params_;
+  }
+
+ protected:
+  std::vector<Variable> params_;
+};
+
+/// SGD with classical momentum and optional L2 weight decay.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void step() override;
+
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  [[nodiscard]] float lr() const noexcept { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// ADAM (Kingma & Ba), the optimiser the paper uses for post-training.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void step() override;
+
+  void set_lr(float lr) noexcept { lr_ = lr; }
+  [[nodiscard]] float lr() const noexcept { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace fitact::nn

@@ -1,0 +1,28 @@
+#include "nn/schedule.h"
+
+#include <cmath>
+
+namespace fitact::nn {
+
+float StepDecay::lr_at(std::int64_t epoch) const {
+  const std::int64_t steps = epoch / step_;
+  return base_ * std::pow(gamma_, static_cast<float>(steps));
+}
+
+float CosineAnnealing::lr_at(std::int64_t epoch) const {
+  if (epoch >= total_) return min_;
+  const float t = static_cast<float>(epoch) / static_cast<float>(total_);
+  return min_ + 0.5f * (base_ - min_) *
+                    (1.0f + std::cos(3.14159265358979323846f * t));
+}
+
+float WarmupWrapper::lr_at(std::int64_t epoch) const {
+  if (warmup_ > 0 && epoch < warmup_) {
+    const float target = inner_->lr_at(warmup_);
+    return target * static_cast<float>(epoch + 1) /
+           static_cast<float>(warmup_);
+  }
+  return inner_->lr_at(epoch);
+}
+
+}  // namespace fitact::nn

@@ -1,0 +1,62 @@
+// Learning-rate schedules for the stage-1 trainer. The paper's training
+// details are unspecified beyond "conventional training"; step decay is the
+// classic CIFAR recipe and cosine annealing the modern default, so both are
+// provided (plus warmup, useful for the BatchNorm-less architectures).
+#pragma once
+
+#include <cstdint>
+
+namespace fitact::nn {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  /// Learning rate to use for `epoch` (0-based).
+  [[nodiscard]] virtual float lr_at(std::int64_t epoch) const = 0;
+};
+
+/// lr = base * gamma^(epoch / step_size)  (integer division).
+class StepDecay final : public LrSchedule {
+ public:
+  StepDecay(float base_lr, std::int64_t step_size, float gamma) noexcept
+      : base_(base_lr), step_(step_size < 1 ? 1 : step_size), gamma_(gamma) {}
+
+  [[nodiscard]] float lr_at(std::int64_t epoch) const override;
+
+ private:
+  float base_;
+  std::int64_t step_;
+  float gamma_;
+};
+
+/// Cosine annealing from base_lr to min_lr over total_epochs.
+class CosineAnnealing final : public LrSchedule {
+ public:
+  CosineAnnealing(float base_lr, std::int64_t total_epochs,
+                  float min_lr = 0.0f) noexcept
+      : base_(base_lr),
+        total_(total_epochs < 1 ? 1 : total_epochs),
+        min_(min_lr) {}
+
+  [[nodiscard]] float lr_at(std::int64_t epoch) const override;
+
+ private:
+  float base_;
+  std::int64_t total_;
+  float min_;
+};
+
+/// Linear warmup over the first `warmup_epochs`, then delegates.
+class WarmupWrapper final : public LrSchedule {
+ public:
+  WarmupWrapper(const LrSchedule& inner, std::int64_t warmup_epochs) noexcept
+      : inner_(&inner), warmup_(warmup_epochs) {}
+
+  [[nodiscard]] float lr_at(std::int64_t epoch) const override;
+
+ private:
+  const LrSchedule* inner_;
+  std::int64_t warmup_;
+};
+
+}  // namespace fitact::nn

@@ -1,0 +1,102 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+namespace fitact::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0xF17AC701;
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_entry(std::ostream& os, const std::string& name,
+                 const Tensor& t) {
+  write_u64(os, name.size());
+  os.write(name.data(), static_cast<std::streamsize>(name.size()));
+  const auto& dims = t.shape().dims();
+  write_u32(os, static_cast<std::uint32_t>(dims.size()));
+  for (const auto d : dims) write_u64(os, static_cast<std::uint64_t>(d));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+}  // namespace
+
+void save_state(const Module& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_state: cannot open " + path);
+  const auto params = m.named_parameters();
+  const auto buffers = m.named_buffers();
+  write_u32(os, kMagic);
+  write_u32(os, kVersion);
+  write_u64(os, params.size() + buffers.size());
+  for (const auto& p : params) write_entry(os, p.name, p.var.value());
+  for (const auto& b : buffers) write_entry(os, b.name, b.tensor);
+  if (!os) throw std::runtime_error("save_state: write failure on " + path);
+}
+
+bool load_state(Module& m, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  if (read_u32(is) != kMagic) {
+    throw std::runtime_error("load_state: bad magic in " + path);
+  }
+  if (read_u32(is) != kVersion) {
+    throw std::runtime_error("load_state: unsupported version in " + path);
+  }
+  const std::uint64_t count = read_u64(is);
+
+  std::map<std::string, Tensor> targets;
+  for (auto& p : m.named_parameters()) targets.emplace(p.name, p.var.value());
+  for (auto& b : m.named_buffers()) targets.emplace(b.name, b.tensor);
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t name_len = read_u64(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    const std::uint32_t rank = read_u32(is);
+    std::vector<std::int64_t> dims(rank);
+    for (auto& d : dims) d = static_cast<std::int64_t>(read_u64(is));
+    const Shape shape{dims};
+    const auto it = targets.find(name);
+    if (it == targets.end()) {
+      throw std::runtime_error("load_state: unknown entry '" + name + "' in " +
+                               path);
+    }
+    if (it->second.shape() != shape) {
+      throw std::runtime_error("load_state: shape mismatch for '" + name +
+                               "': file " + shape.str() + " vs module " +
+                               it->second.shape().str());
+    }
+    is.read(reinterpret_cast<char*>(it->second.data()),
+            static_cast<std::streamsize>(it->second.numel() * sizeof(float)));
+    if (!is) {
+      throw std::runtime_error("load_state: truncated file " + path);
+    }
+  }
+  return true;
+}
+
+}  // namespace fitact::nn

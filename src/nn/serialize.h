@@ -1,0 +1,23 @@
+// Binary checkpointing of module parameters and buffers.
+//
+// Format: magic, version, entry count, then per entry: name, rank, dims,
+// float payload. Entries are matched by name on load; shape mismatches are
+// errors. Used by the bench harnesses to cache trained models between runs.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace fitact::nn {
+
+/// Write all parameters and buffers of `m` to `path`.
+/// Throws std::runtime_error on I/O failure.
+void save_state(const Module& m, const std::string& path);
+
+/// Load parameters and buffers by name into `m`.
+/// Returns false (leaving `m` untouched) if the file does not exist;
+/// throws std::runtime_error on malformed files or name/shape mismatches.
+bool load_state(Module& m, const std::string& path);
+
+}  // namespace fitact::nn

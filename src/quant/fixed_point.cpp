@@ -1,0 +1,30 @@
+#include "quant/fixed_point.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fitact::quant {
+
+std::int32_t encode(float x) noexcept {
+  if (std::isnan(x)) return 0;
+  const float scaled = x * kScale;
+  if (scaled >= 2147483647.0f) return 2147483647;
+  if (scaled <= -2147483648.0f) return -2147483648;
+  return static_cast<std::int32_t>(std::lrintf(scaled));
+}
+
+void encode_span(std::span<const float> src, std::span<std::int32_t> dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("encode_span: size mismatch");
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = encode(src[i]);
+}
+
+void decode_span(std::span<const std::int32_t> src, std::span<float> dst) {
+  if (src.size() != dst.size()) {
+    throw std::invalid_argument("decode_span: size mismatch");
+  }
+  for (std::size_t i = 0; i < src.size(); ++i) dst[i] = decode(src[i]);
+}
+
+}  // namespace fitact::quant

@@ -1,0 +1,138 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace fitact {
+namespace {
+
+// Block sizes sized for ~32 KiB L1 / 512 KiB L2 per core.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 256;
+
+inline float load(const float* p, std::int64_t ld, std::int64_t r,
+                  std::int64_t c, bool trans) noexcept {
+  return trans ? p[c * ld + r] : p[r * ld + c];
+}
+
+// Inner kernel on a packed K-major A panel: C[mb, nb] += Ap[mb, kb] * B.
+// Ap is row-major mb x kb (already transposed if needed); B points at
+// (k0, n0) of the full row-major matrix.
+void kernel_panel(std::int64_t mb, std::int64_t nb, std::int64_t kb,
+                  float alpha, const float* ap, const float* b,
+                  std::int64_t ldb, float* c, std::int64_t ldc) noexcept {
+  for (std::int64_t i = 0; i < mb; ++i) {
+    const float* arow = ap + i * kb;
+    float* crow = c + i * ldc;
+    for (std::int64_t p = 0; p < kb; ++p) {
+      const float aval = alpha * arow[p];
+      if (aval == 0.0f) continue;
+      const float* brow = b + p * ldb;
+      std::int64_t j = 0;
+      for (; j + 4 <= nb; j += 4) {
+        crow[j + 0] += aval * brow[j + 0];
+        crow[j + 1] += aval * brow[j + 1];
+        crow[j + 2] += aval * brow[j + 2];
+        crow[j + 3] += aval * brow[j + 3];
+      }
+      for (; j < nb; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm_reference(bool trans_a, bool trans_b, std::int64_t m,
+                     std::int64_t n, std::int64_t k, float alpha,
+                     const float* a, std::int64_t lda, const float* b,
+                     std::int64_t ldb, float beta, float* c,
+                     std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(load(a, lda, i, p, trans_a)) *
+               static_cast<double>(load(b, ldb, p, j, trans_b));
+      }
+      float& out = c[i * ldc + j];
+      out = alpha * static_cast<float>(acc) + (beta == 0.0f ? 0.0f : beta * out);
+    }
+  }
+}
+
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, float alpha, const float* a, std::int64_t lda,
+           const float* b, std::int64_t ldb, float beta, float* c,
+           std::int64_t ldc) {
+  if (m <= 0 || n <= 0) return;
+
+  // Scale / clear C once up front, then accumulate.
+  if (beta == 0.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::fill_n(c + i * ldc, static_cast<std::size_t>(n), 0.0f);
+    }
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      float* row = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+  if (k <= 0 || alpha == 0.0f) return;
+
+  // When B must be transposed, fall back to a simple blocked loop (this path
+  // is only used for small matrices in backward passes).
+  if (trans_b) {
+    ut::parallel_for(0, static_cast<std::size_t>(m), [&](std::size_t ib,
+                                                         std::size_t ie) {
+      for (std::size_t i = ib; i < ie; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          double acc = 0.0;
+          for (std::int64_t p = 0; p < k; ++p) {
+            acc += static_cast<double>(
+                       load(a, lda, static_cast<std::int64_t>(i), p, trans_a)) *
+                   static_cast<double>(b[j * ldb + p]);
+          }
+          c[static_cast<std::int64_t>(i) * ldc + j] +=
+              alpha * static_cast<float>(acc);
+        }
+      }
+    });
+    return;
+  }
+
+  // Main path: pack A row panels, stream B (row-major, no transpose).
+  const std::int64_t row_blocks = (m + kBlockM - 1) / kBlockM;
+  ut::parallel_for(0, static_cast<std::size_t>(row_blocks), [&](std::size_t bb,
+                                                                std::size_t be) {
+    std::vector<float> apack(static_cast<std::size_t>(kBlockM * kBlockK));
+    for (std::size_t blk = bb; blk < be; ++blk) {
+      const std::int64_t i0 = static_cast<std::int64_t>(blk) * kBlockM;
+      const std::int64_t mb = std::min<std::int64_t>(kBlockM, m - i0);
+      for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::int64_t kb = std::min<std::int64_t>(kBlockK, k - k0);
+        // Pack op(A)[i0:i0+mb, k0:k0+kb] row-major into apack.
+        for (std::int64_t i = 0; i < mb; ++i) {
+          float* dst = apack.data() + i * kb;
+          if (!trans_a) {
+            const float* src = a + (i0 + i) * lda + k0;
+            std::copy_n(src, static_cast<std::size_t>(kb), dst);
+          } else {
+            for (std::int64_t p = 0; p < kb; ++p) {
+              dst[p] = a[(k0 + p) * lda + (i0 + i)];
+            }
+          }
+        }
+        for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
+          const std::int64_t nb = std::min<std::int64_t>(kBlockN, n - j0);
+          kernel_panel(mb, nb, kb, alpha, apack.data(), b + k0 * ldb + j0, ldb,
+                       c + i0 * ldc + j0, ldc);
+        }
+      }
+    }
+  });
+}
+
+}  // namespace fitact

@@ -1,0 +1,33 @@
+// Single-precision general matrix multiply, the compute core of conv2d and
+// fully connected layers.
+//
+// C[M,N] = alpha * op(A) * op(B) + beta * C
+//
+// Row-major layout throughout; op() is an optional transpose. The kernel is
+// cache-blocked and parallelised over row panels via the global thread pool.
+#pragma once
+
+#include <cstdint>
+
+namespace fitact {
+
+struct GemmDims {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+};
+
+/// Plain row-major SGEMM. lda/ldb/ldc are leading dimensions (row strides).
+void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+           std::int64_t k, float alpha, const float* a, std::int64_t lda,
+           const float* b, std::int64_t ldb, float beta, float* c,
+           std::int64_t ldc);
+
+/// Reference (naive triple loop) implementation used in tests to validate
+/// the blocked kernel.
+void sgemm_reference(bool trans_a, bool trans_b, std::int64_t m,
+                     std::int64_t n, std::int64_t k, float alpha,
+                     const float* a, std::int64_t lda, const float* b,
+                     std::int64_t ldb, float beta, float* c, std::int64_t ldc);
+
+}  // namespace fitact

@@ -1,0 +1,42 @@
+#include "tensor/shape.h"
+
+#include <stdexcept>
+
+namespace fitact {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (const auto d : dims_) {
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+  }
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (const auto d : dims_) {
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+  }
+}
+
+std::int64_t Shape::numel() const noexcept {
+  std::int64_t n = 1;
+  for (const auto d : dims_) n *= d;
+  return n;
+}
+
+std::int64_t Shape::dim(std::int64_t i) const {
+  const auto r = static_cast<std::int64_t>(dims_.size());
+  if (i < 0) i += r;
+  if (i < 0 || i >= r) throw std::out_of_range("Shape::dim index");
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+std::string Shape::str() const {
+  std::string s = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(dims_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace fitact

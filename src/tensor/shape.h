@@ -1,0 +1,43 @@
+// Dense tensor shape: an ordered list of dimension extents.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace fitact {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return dims_.size(); }
+  [[nodiscard]] std::int64_t numel() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return dims_.empty(); }
+
+  /// Extent of dimension i; negative i counts from the back (-1 = last).
+  [[nodiscard]] std::int64_t dim(std::int64_t i) const;
+  std::int64_t operator[](std::size_t i) const { return dims_[i]; }
+
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const noexcept {
+    return dims_;
+  }
+
+  bool operator==(const Shape& other) const noexcept {
+    return dims_ == other.dims_;
+  }
+  bool operator!=(const Shape& other) const noexcept {
+    return !(*this == other);
+  }
+
+  /// "[2, 3, 32, 32]"
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace fitact

@@ -1,0 +1,143 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace fitact {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_.numel()),
+      data_(new float[static_cast<std::size_t>(std::max<std::int64_t>(
+          numel_, 1))]) {}
+
+Tensor::Tensor(Shape shape, std::shared_ptr<float[]> data)
+    : shape_(std::move(shape)), numel_(shape_.numel()), data_(std::move(data)) {}
+
+Tensor Tensor::zeros(Shape shape) {
+  Tensor t(std::move(shape));
+  t.fill(0.0f);
+  return t;
+}
+
+Tensor Tensor::ones(Shape shape) {
+  Tensor t(std::move(shape));
+  t.fill(1.0f);
+  return t;
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, ut::Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.span()) v = rng.normal(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, ut::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.span()) v = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::from_values(std::initializer_list<float> values) {
+  Tensor t(Shape{static_cast<std::int64_t>(values.size())});
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::scalar(float value) {
+  Tensor t(Shape{1});
+  t[0] = value;
+  return t;
+}
+
+namespace {
+std::int64_t checked_flat_index(const Shape& shape,
+                                std::initializer_list<std::int64_t> idx) {
+  if (idx.size() != shape.rank()) {
+    throw std::invalid_argument("Tensor::at rank mismatch");
+  }
+  std::int64_t flat = 0;
+  std::size_t d = 0;
+  for (const auto i : idx) {
+    const std::int64_t extent = shape[d];
+    if (i < 0 || i >= extent) throw std::out_of_range("Tensor::at index");
+    flat = flat * extent + i;
+    ++d;
+  }
+  return flat;
+}
+}  // namespace
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  return data_.get()[checked_flat_index(shape_, idx)];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return data_.get()[checked_flat_index(shape_, idx)];
+}
+
+Tensor Tensor::clone() const {
+  Tensor out(shape_);
+  if (numel_ > 0) {
+    std::memcpy(out.data(), data(),
+                static_cast<std::size_t>(numel_) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (new_shape.numel() != numel_) {
+    throw std::invalid_argument("Tensor::reshape numel mismatch: " +
+                                shape_.str() + " -> " + new_shape.str());
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+float Tensor::item() const {
+  if (numel_ != 1) {
+    throw std::logic_error("Tensor::item on tensor with numel " +
+                           std::to_string(numel_));
+  }
+  return data_.get()[0];
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill_n(data_.get(), static_cast<std::size_t>(numel_), value);
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  if (src.numel_ != numel_) {
+    throw std::invalid_argument("Tensor::copy_from numel mismatch");
+  }
+  if (numel_ > 0) {
+    std::memcpy(data(), src.data(),
+                static_cast<std::size_t>(numel_) * sizeof(float));
+  }
+}
+
+std::string Tensor::str() const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.str();
+  if (numel_ > 0 && numel_ <= 8) {
+    os << " {";
+    for (std::int64_t i = 0; i < numel_; ++i) {
+      if (i) os << ", ";
+      os << data_.get()[i];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+}  // namespace fitact

@@ -1,0 +1,88 @@
+// Dense float32 tensor with shared, contiguous storage.
+//
+// Copying a Tensor is cheap (shared_ptr aliasing of the storage, like
+// torch.Tensor); use clone() for an independent copy. All compute happens in
+// float32; the fixed-point Q1.15.16 representation of the paper lives in
+// src/quant and is applied to *stored parameters* only.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tensor/shape.h"
+
+namespace fitact::ut {
+class Rng;
+}
+
+namespace fitact {
+
+class Tensor {
+ public:
+  /// Empty (rank-0, no storage) tensor.
+  Tensor() = default;
+
+  /// Uninitialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// Standard-normal entries scaled by stddev.
+  static Tensor randn(Shape shape, ut::Rng& rng, float stddev = 1.0f);
+  /// Uniform entries in [lo, hi).
+  static Tensor rand_uniform(Shape shape, ut::Rng& rng, float lo, float hi);
+  /// 1-D tensor from a list.
+  static Tensor from_values(std::initializer_list<float> values);
+  /// Scalar (shape [1]).
+  static Tensor scalar(float value);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::int64_t numel() const noexcept { return numel_; }
+  [[nodiscard]] bool defined() const noexcept { return data_ != nullptr; }
+
+  [[nodiscard]] float* data() noexcept { return data_.get(); }
+  [[nodiscard]] const float* data() const noexcept { return data_.get(); }
+  [[nodiscard]] std::span<float> span() noexcept {
+    return {data_.get(), static_cast<std::size_t>(numel_)};
+  }
+  [[nodiscard]] std::span<const float> span() const noexcept {
+    return {data_.get(), static_cast<std::size_t>(numel_)};
+  }
+
+  /// Flat element access (no bounds check in release).
+  float& operator[](std::int64_t i) noexcept { return data_.get()[i]; }
+  float operator[](std::int64_t i) const noexcept { return data_.get()[i]; }
+
+  /// N-d element access with bounds checking; for tests and small code paths.
+  [[nodiscard]] float& at(std::initializer_list<std::int64_t> idx);
+  [[nodiscard]] float at(std::initializer_list<std::int64_t> idx) const;
+
+  /// Deep, independent copy.
+  [[nodiscard]] Tensor clone() const;
+
+  /// Same storage, different shape (numel must match).
+  [[nodiscard]] Tensor reshape(Shape new_shape) const;
+
+  /// Value of a single-element tensor.
+  [[nodiscard]] float item() const;
+
+  void fill(float value) noexcept;
+
+  /// Copy values from another tensor of identical numel (shapes may differ).
+  void copy_from(const Tensor& src);
+
+  [[nodiscard]] std::string str() const;  // summary, for diagnostics
+
+ private:
+  Tensor(Shape shape, std::shared_ptr<float[]> data);
+
+  Shape shape_;
+  std::int64_t numel_ = 0;
+  std::shared_ptr<float[]> data_;
+};
+
+}  // namespace fitact

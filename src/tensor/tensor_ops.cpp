@@ -1,0 +1,211 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/gemm.h"
+
+namespace fitact {
+namespace {
+void check_same_numel(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.numel() != b.numel()) {
+    throw std::invalid_argument(std::string(op) + ": numel mismatch " +
+                                a.shape().str() + " vs " + b.shape().str());
+  }
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_numel(a, b, "add");
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_numel(a, b, "sub");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_numel(a, b, "mul");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_numel(a, b, "add_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+}
+
+void axpy_inplace(Tensor& y, float alpha, const Tensor& x) {
+  check_same_numel(y, x, "axpy_inplace");
+  float* py = y.data();
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < y.numel(); ++i) py[i] += alpha * px[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (auto& v : a.span()) v *= s;
+}
+
+void clamp_min_inplace(Tensor& a, float lo) {
+  for (auto& v : a.span()) v = std::max(v, lo);
+}
+
+float sum(const Tensor& a) {
+  double acc = 0.0;
+  for (const auto v : a.span()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  if (a.numel() == 0) return 0.0f;
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float max_value(const Tensor& a) {
+  float m = -std::numeric_limits<float>::infinity();
+  for (const auto v : a.span()) m = std::max(m, v);
+  return m;
+}
+
+float min_value(const Tensor& a) {
+  float m = std::numeric_limits<float>::infinity();
+  for (const auto v : a.span()) m = std::min(m, v);
+  return m;
+}
+
+std::int64_t argmax_range(const Tensor& a, std::int64_t begin,
+                          std::int64_t len) {
+  if (len <= 0 || begin < 0 || begin + len > a.numel()) {
+    throw std::out_of_range("argmax_range");
+  }
+  const float* p = a.data() + begin;
+  std::int64_t best = 0;
+  float best_v = p[0];
+  for (std::int64_t i = 1; i < len; ++i) {
+    if (p[i] > best_v) {
+      best_v = p[i];
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  if (a.shape().rank() != 2) {
+    throw std::invalid_argument("argmax_rows expects rank-2 tensor");
+  }
+  const std::int64_t rows = a.shape()[0];
+  const std::int64_t cols = a.shape()[1];
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    out[static_cast<std::size_t>(r)] = argmax_range(a, r * cols, cols);
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.shape().rank() != 2 || b.shape().rank() != 2) {
+    throw std::invalid_argument("matmul expects rank-2 tensors");
+  }
+  const std::int64_t m = a.shape()[0];
+  const std::int64_t k = a.shape()[1];
+  const std::int64_t k2 = b.shape()[0];
+  const std::int64_t n = b.shape()[1];
+  if (k != k2) {
+    throw std::invalid_argument("matmul: inner dimension mismatch " +
+                                a.shape().str() + " x " + b.shape().str());
+  }
+  Tensor c(Shape{m, n});
+  sgemm(false, false, m, n, k, 1.0f, a.data(), k, b.data(), n, 0.0f, c.data(),
+        n);
+  return c;
+}
+
+void im2col(const Conv2dGeometry& g, const float* image, float* col) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t hw = g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    const float* chan = image + c * hw;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* dst = col + row * (oh * ow);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.padding;
+          if (iy < 0 || iy >= g.in_h) {
+            std::fill_n(dst + y * ow, static_cast<std::size_t>(ow), 0.0f);
+            continue;
+          }
+          const float* src_row = chan + iy * g.in_w;
+          const std::int64_t x0 = kw - g.padding;  // ix = x*stride + x0
+          if (g.stride == 1) {
+            // Contiguous copy of the valid middle, zero-fill the borders.
+            std::int64_t x_lo = std::max<std::int64_t>(0, -x0);
+            std::int64_t x_hi = std::min<std::int64_t>(ow, g.in_w - x0);
+            if (x_hi < x_lo) x_hi = x_lo;
+            std::fill_n(dst + y * ow, static_cast<std::size_t>(x_lo), 0.0f);
+            if (x_hi > x_lo) {
+              std::memcpy(dst + y * ow + x_lo, src_row + x0 + x_lo,
+                          static_cast<std::size_t>(x_hi - x_lo) *
+                              sizeof(float));
+            }
+            std::fill_n(dst + y * ow + x_hi,
+                        static_cast<std::size_t>(ow - x_hi), 0.0f);
+          } else {
+            for (std::int64_t x = 0; x < ow; ++x) {
+              const std::int64_t ix = x * g.stride + x0;
+              dst[y * ow + x] =
+                  (ix >= 0 && ix < g.in_w) ? src_row[ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Conv2dGeometry& g, const float* col, float* image) {
+  const std::int64_t oh = g.out_h();
+  const std::int64_t ow = g.out_w();
+  const std::int64_t hw = g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    float* chan = image + c * hw;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = col + row * (oh * ow);
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * g.stride + kh - g.padding;
+          if (iy < 0 || iy >= g.in_h) continue;
+          float* dst_row = chan + iy * g.in_w;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * g.stride + kw - g.padding;
+            if (ix >= 0 && ix < g.in_w) dst_row[ix] += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fitact

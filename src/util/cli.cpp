@@ -1,0 +1,59 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace fitact::ut {
+
+Cli::Cli(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.size() > 2 && arg.substr(0, 2) == "--") {
+      const auto eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        options_[std::string(arg.substr(2, eq - 2))] =
+            std::string(arg.substr(eq + 1));
+      } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) !=
+                                     "--") {
+        options_[std::string(arg.substr(2))] = argv[i + 1];
+        ++i;
+      } else {
+        options_[std::string(arg.substr(2))] = "true";
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_flag(const std::string& name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return false;
+  return it->second == "true" || it->second == "1";
+}
+
+}  // namespace fitact::ut

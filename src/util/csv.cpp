@@ -1,0 +1,62 @@
+#include "util/csv.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace fitact::ut {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), width_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  write_row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) {
+    throw std::invalid_argument("CsvWriter: row width " +
+                                std::to_string(cells.size()) +
+                                " != header width " + std::to_string(width_));
+  }
+  write_row(cells);
+}
+
+void CsvWriter::row_values(std::initializer_list<double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (const double v : values) cells.push_back(num(v));
+  row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream os;
+  os.precision(10);
+  os << v;
+  return os.str();
+}
+
+}  // namespace fitact::ut

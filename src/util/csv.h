@@ -1,0 +1,41 @@
+// Tiny CSV writer used by the benchmark harnesses to persist the series
+// behind each reproduced figure/table, so results can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fitact::ut {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; the cell count must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arithmetic values with full precision.
+  void row_values(std::initializer_list<double> values);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Render a double without trailing-zero noise ("1.5", "3e-06", "84.81").
+  static std::string num(double v);
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+/// Escape a cell per RFC 4180 (quotes around cells containing , " or \n).
+std::string csv_escape(std::string_view cell);
+
+}  // namespace fitact::ut

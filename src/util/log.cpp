@@ -1,0 +1,41 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace fitact::ut {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::info};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::debug:
+      return "debug";
+    case LogLevel::info:
+      return "info";
+    case LogLevel::warn:
+      return "warn";
+    case LogLevel::error:
+      return "error";
+    case LogLevel::off:
+      return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::string line = "[";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace fitact::ut

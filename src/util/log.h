@@ -1,0 +1,54 @@
+// Leveled stderr logging. Intentionally minimal: the library itself logs
+// nothing above `info`, and benches use it for progress lines that should
+// not pollute the stdout tables.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fitact::ut {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global threshold; messages below it are dropped. Default: info.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one line ("[level] message") to stderr if `level` passes the
+/// threshold. Thread-safe (single write call per line).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { log_line(level_, os_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LineBuilder log_debug() {
+  return detail::LineBuilder(LogLevel::debug);
+}
+inline detail::LineBuilder log_info() {
+  return detail::LineBuilder(LogLevel::info);
+}
+inline detail::LineBuilder log_warn() {
+  return detail::LineBuilder(LogLevel::warn);
+}
+inline detail::LineBuilder log_error() {
+  return detail::LineBuilder(LogLevel::error);
+}
+
+}  // namespace fitact::ut

@@ -1,0 +1,85 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fitact::ut {
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' &&
+               c != '%') {
+      return false;
+    }
+  }
+  return digit;
+}
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : header_[c];
+      const std::size_t pad = width[c] - cell.size();
+      os << "  ";
+      if (looks_numeric(cell) && c > 0) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 2;
+  for (const auto w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TextTable::print() const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+}
+
+std::string TextTable::fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string TextTable::percent(double fraction01, int decimals) {
+  return fixed(fraction01 * 100.0, decimals) + "%";
+}
+
+std::string TextTable::sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0e", v);
+  return buf;
+}
+
+}  // namespace fitact::ut

@@ -1,0 +1,32 @@
+// Aligned plain-text table printer. The bench harnesses use it to print the
+// rows/series of each reproduced paper table and figure to stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fitact::ut {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void row(std::vector<std::string> cells);
+
+  /// Render with column alignment; numbers right-aligned heuristically.
+  [[nodiscard]] std::string str() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  /// Format helpers.
+  static std::string fixed(double v, int decimals);
+  static std::string percent(double fraction01, int decimals = 2);
+  static std::string sci(double v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fitact::ut

@@ -1,0 +1,175 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace fitact::ut {
+namespace {
+// Set while a pool worker executes a task. Nested parallel_for calls from
+// inside a worker run inline instead of re-entering the pool: with a small
+// pool, workers waiting on sub-tasks that only other (equally blocked)
+// workers could run would stall the process.
+thread_local bool tl_in_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    tl_in_worker = true;
+    task();
+    tl_in_worker = false;
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (tl_in_worker) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t n = end - begin;
+  const std::size_t num_chunks = std::min(n, workers_.size() + 1);
+  if (num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+
+  struct Sync {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t pending = 0;
+  };
+  auto sync = std::make_shared<Sync>();
+  sync->pending = num_chunks - 1;
+
+  for (std::size_t c = 1; c < num_chunks; ++c) {
+    const std::size_t b = begin + c * chunk;
+    const std::size_t e = std::min(end, b + chunk);
+    if (b >= e) {
+      const std::lock_guard<std::mutex> lock(sync->m);
+      --sync->pending;
+      continue;
+    }
+    enqueue([fn, b, e, sync] {
+      fn(b, e);
+      {
+        const std::lock_guard<std::mutex> lock(sync->m);
+        --sync->pending;
+      }
+      sync->done.notify_one();
+    });
+  }
+  // The calling thread executes the first chunk itself.
+  fn(begin, std::min(end, begin + chunk));
+
+  std::unique_lock<std::mutex> lock(sync->m);
+  sync->done.wait(lock, [&] { return sync->pending == 0; });
+}
+
+void ThreadPool::parallel_for_each(std::size_t begin, std::size_t end,
+                                   std::size_t grain,
+                                   const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (tl_in_worker) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  if (grain == 0) grain = 1;
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  const auto worker = [next, end, grain, &fn] {
+    for (;;) {
+      const std::size_t b = next->fetch_add(grain);
+      if (b >= end) return;
+      const std::size_t e = std::min(end, b + grain);
+      for (std::size_t i = b; i < e; ++i) fn(i);
+    }
+  };
+
+  struct Sync {
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t pending = 0;
+  };
+  auto sync = std::make_shared<Sync>();
+  const std::size_t helpers =
+      std::min(workers_.size(), (end - begin + grain - 1) / grain);
+  sync->pending = helpers;
+  for (std::size_t c = 0; c < helpers; ++c) {
+    enqueue([worker, sync] {
+      worker();
+      {
+        const std::lock_guard<std::mutex> lock(sync->m);
+        --sync->pending;
+      }
+      sync->done.notify_one();
+    });
+  }
+  worker();
+  std::unique_lock<std::mutex> lock(sync->m);
+  sync->done.wait(lock, [&] { return sync->pending == 0; });
+}
+
+namespace {
+std::size_t& global_threads_setting() {
+  static std::size_t n = 0;  // 0 = auto
+  return n;
+}
+}  // namespace
+
+std::size_t set_global_threads(std::size_t n) {
+  global_threads_setting() = n;
+  return n == 0 ? std::max(1u, std::thread::hardware_concurrency()) : n;
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    const std::size_t n = global_threads_setting();
+    if (n > 0) return n;
+    const unsigned hc = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hc == 0 ? 2 : hc);
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  global_pool().parallel_for(begin, end, fn);
+}
+
+}  // namespace fitact::ut

@@ -1,0 +1,62 @@
+// Minimal fixed-size thread pool with a blocking parallel_for.
+//
+// The pool is used by the GEMM kernel, the conv2d im2col driver, and the
+// fault-injection campaign runner. A process-wide pool (global_pool) avoids
+// repeated thread creation; its size defaults to the hardware concurrency
+// and can be capped via set_global_threads before first use.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fitact::ut {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Run fn(begin..end) partitioned into roughly equal contiguous chunks,
+  /// one per worker (plus the calling thread). Blocks until all chunks
+  /// complete. fn receives a half-open index range [chunk_begin, chunk_end).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Run fn once per index in [begin, end), dynamically load-balanced in
+  /// blocks of `grain`. Use for heterogeneous per-item costs (fault trials).
+  void parallel_for_each(std::size_t begin, std::size_t end, std::size_t grain,
+                         const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool, created on first use.
+ThreadPool& global_pool();
+
+/// Cap the global pool size; must be called before the first global_pool()
+/// use to take effect. Returns the size that will be used.
+std::size_t set_global_threads(std::size_t n);
+
+/// Convenience wrappers over global_pool().
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace fitact::ut

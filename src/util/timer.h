@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for the benchmark harnesses and the Table I /
+// training-overhead reproductions.
+#pragma once
+
+#include <chrono>
+
+namespace fitact::ut {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  /// Elapsed time since construction or last reset, in milliseconds.
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in seconds.
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return elapsed_ms() / 1000.0;
+  }
+
+  void reset() noexcept { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace fitact::ut

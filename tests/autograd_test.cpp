@@ -1,0 +1,399 @@
+// Unit tests for the autograd engine: graph mechanics, accumulation,
+// NoGradGuard, and forward values / analytic gradients of each op on small
+// known cases. Exhaustive numeric gradient checks live in gradcheck_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "util/rng.h"
+
+namespace fitact {
+namespace {
+
+TEST(Variable, LeafBasics) {
+  Variable v(Tensor::from_values({1.0f, 2.0f}), true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.numel(), 2);
+  EXPECT_FALSE(v.has_grad());
+  v.ensure_grad();
+  EXPECT_TRUE(v.has_grad());
+  EXPECT_EQ(v.grad()[0], 0.0f);
+}
+
+TEST(Variable, BackwardThroughAdd) {
+  Variable a(Tensor::from_values({1.0f, 2.0f}), true);
+  Variable b(Tensor::from_values({3.0f, 4.0f}), true);
+  Variable c = ag::add(a, b);
+  EXPECT_FLOAT_EQ(c.value()[0], 4.0f);
+  c.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.grad()[1], 1.0f);
+}
+
+TEST(Variable, GradAccumulatesAcrossUses) {
+  // y = x + x  => dy/dx = 2.
+  Variable x(Tensor::from_values({5.0f}), true);
+  Variable y = ag::add(x, x);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(Variable, DiamondGraphAccumulates) {
+  // z = (x*x) + (x*x): dz/dx = 4x.
+  Variable x(Tensor::from_values({3.0f}), true);
+  Variable a = ag::mul(x, x);
+  Variable b = ag::mul(x, x);
+  Variable z = ag::add(a, b);
+  z.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 12.0f);
+}
+
+TEST(Variable, BackwardTwiceAccumulates) {
+  Variable x(Tensor::from_values({2.0f}), true);
+  Variable y = ag::scale(x, 3.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+  Variable y2 = ag::scale(x, 3.0f);
+  y2.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);  // accumulated, matching torch semantics
+}
+
+TEST(Variable, NoGradParentSkipsAccumulation) {
+  Variable a(Tensor::from_values({1.0f}), true);
+  Variable b(Tensor::from_values({2.0f}), false);
+  Variable c = ag::mul(a, b);
+  c.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.0f);
+  EXPECT_FALSE(b.has_grad());
+}
+
+TEST(NoGradGuard, DisablesGraphConstruction) {
+  Variable a(Tensor::from_values({1.0f}), true);
+  {
+    const NoGradGuard guard;
+    Variable b = ag::scale(a, 2.0f);
+    EXPECT_FALSE(b.requires_grad());
+    EXPECT_TRUE(grad_enabled() == false);
+  }
+  EXPECT_TRUE(grad_enabled());
+}
+
+TEST(NoGradGuard, Nests) {
+  const NoGradGuard g1;
+  {
+    const NoGradGuard g2;
+    EXPECT_FALSE(grad_enabled());
+  }
+  EXPECT_FALSE(grad_enabled());
+}
+
+TEST(Ops, SubGradientSigns) {
+  Variable a(Tensor::from_values({5.0f}), true);
+  Variable b(Tensor::from_values({3.0f}), true);
+  Variable c = ag::sub(a, b);
+  EXPECT_FLOAT_EQ(c.value()[0], 2.0f);
+  c.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], -1.0f);
+}
+
+TEST(Ops, ReluForwardAndMask) {
+  Variable x(Tensor::from_values({-1.0f, 0.0f, 2.0f}), true);
+  Variable y = ag::relu(x);
+  EXPECT_FLOAT_EQ(y.value()[0], 0.0f);
+  EXPECT_FLOAT_EQ(y.value()[2], 2.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 0.0f);  // relu'(0) = 0 by convention
+  EXPECT_FLOAT_EQ(x.grad()[2], 1.0f);
+}
+
+TEST(Ops, ClippedReluZeroAboveSemantics) {
+  // Clip-Act / GBReLU (paper Eq. 4): x > bound -> 0.
+  Variable x(Tensor::zeros(Shape{1, 4}), true);
+  x.value()[0] = -1.0f;
+  x.value()[1] = 0.5f;
+  x.value()[2] = 1.0f;
+  x.value()[3] = 3.0f;
+  const Tensor bound = Tensor::scalar(1.0f);
+  Variable y = ag::clipped_relu(x, bound, ag::ClipMode::zero_above);
+  EXPECT_FLOAT_EQ(y.value()[0], 0.0f);
+  EXPECT_FLOAT_EQ(y.value()[1], 0.5f);
+  EXPECT_FLOAT_EQ(y.value()[2], 1.0f);
+  EXPECT_FLOAT_EQ(y.value()[3], 0.0f);  // squashed to zero, not clamped
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);
+  EXPECT_FLOAT_EQ(x.grad()[3], 0.0f);
+}
+
+TEST(Ops, ClippedReluSaturateSemantics) {
+  // Ranger: x > bound -> bound (value still propagates).
+  Variable x(Tensor::zeros(Shape{1, 2}), true);
+  x.value()[0] = 0.5f;
+  x.value()[1] = 9.0f;
+  const Tensor bound = Tensor::scalar(2.0f);
+  Variable y = ag::clipped_relu(x, bound, ag::ClipMode::saturate);
+  EXPECT_FLOAT_EQ(y.value()[0], 0.5f);
+  EXPECT_FLOAT_EQ(y.value()[1], 2.0f);
+}
+
+TEST(Ops, ClippedReluPerChannelBound) {
+  // x: [1, 2, 1, 2]; channel bounds {1, 10}.
+  Variable x(Tensor::zeros(Shape{1, 2, 1, 2}), true);
+  x.value()[0] = 5.0f;  // c0
+  x.value()[1] = 0.5f;  // c0
+  x.value()[2] = 5.0f;  // c1
+  x.value()[3] = 0.5f;  // c1
+  const Tensor bound = Tensor::from_values({1.0f, 10.0f});
+  Variable y = ag::clipped_relu(x, bound, ag::ClipMode::zero_above);
+  EXPECT_FLOAT_EQ(y.value()[0], 0.0f);  // over c0 bound
+  EXPECT_FLOAT_EQ(y.value()[1], 0.5f);
+  EXPECT_FLOAT_EQ(y.value()[2], 5.0f);  // under c1 bound
+  EXPECT_FLOAT_EQ(y.value()[3], 0.5f);
+}
+
+TEST(Ops, ClippedReluPerNeuronBound) {
+  // FitReLU-Naive (paper Eq. 5): per-neuron bound.
+  Variable x(Tensor::zeros(Shape{2, 3}), true);  // batch of 2
+  for (std::int64_t i = 0; i < 6; ++i) x.value()[i] = 2.0f;
+  const Tensor bound = Tensor::from_values({1.0f, 3.0f, 2.0f});
+  Variable y = ag::clipped_relu(x, bound, ag::ClipMode::zero_above);
+  // Both batch rows use the same per-neuron bounds.
+  for (std::int64_t b = 0; b < 2; ++b) {
+    EXPECT_FLOAT_EQ(y.value()[b * 3 + 0], 0.0f);  // 2 > 1
+    EXPECT_FLOAT_EQ(y.value()[b * 3 + 1], 2.0f);  // 2 <= 3
+    EXPECT_FLOAT_EQ(y.value()[b * 3 + 2], 2.0f);  // 2 <= 2 (boundary passes)
+  }
+}
+
+TEST(Ops, ClippedReluRejectsBadBoundExtent) {
+  Variable x(Tensor::zeros(Shape{1, 4}), true);
+  const Tensor bound = Tensor::zeros(Shape{3});
+  EXPECT_THROW(ag::clipped_relu(x, bound, ag::ClipMode::zero_above),
+               std::invalid_argument);
+}
+
+TEST(Ops, FitReluBehavesLikeIdentityWellBelowBound) {
+  Variable x(Tensor::from_values({1.0f}).reshape(Shape{1, 1}), true);
+  Variable lambda(Tensor::from_values({10.0f}), false);
+  Variable y = ag::fitrelu(x, lambda, 8.0f);
+  EXPECT_NEAR(y.value()[0], 1.0f, 1e-5f);
+}
+
+TEST(Ops, FitReluSquashesWellAboveBound) {
+  Variable x(Tensor::from_values({10.0f}).reshape(Shape{1, 1}), true);
+  Variable lambda(Tensor::from_values({1.0f}), false);
+  Variable y = ag::fitrelu(x, lambda, 8.0f);
+  EXPECT_NEAR(y.value()[0], 0.0f, 1e-4f);
+}
+
+TEST(Ops, FitReluHalfValueAtBound) {
+  // At x == lambda the sigmoid gate is exactly 1/2.
+  Variable x(Tensor::from_values({2.0f}).reshape(Shape{1, 1}), true);
+  Variable lambda(Tensor::from_values({2.0f}), false);
+  Variable y = ag::fitrelu(x, lambda, 4.0f);
+  EXPECT_NEAR(y.value()[0], 1.0f, 1e-5f);
+}
+
+TEST(Ops, FitReluZeroForNegativeInput) {
+  Variable x(Tensor::from_values({-3.0f}).reshape(Shape{1, 1}), true);
+  Variable lambda(Tensor::from_values({2.0f}), true);
+  Variable y = ag::fitrelu(x, lambda, 8.0f);
+  EXPECT_FLOAT_EQ(y.value()[0], 0.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(lambda.grad()[0], 0.0f);
+}
+
+TEST(Ops, FitReluLambdaGradientIsPositiveNearCutoff) {
+  // Raising the bound lets more signal through: d y / d lambda > 0 near x.
+  Variable x(Tensor::from_values({2.0f}).reshape(Shape{1, 1}), true);
+  Variable lambda(Tensor::from_values({2.0f}), true);
+  Variable y = ag::fitrelu(x, lambda, 4.0f);
+  y.backward();
+  EXPECT_GT(lambda.grad()[0], 0.0f);
+}
+
+TEST(Ops, FitReluLambdaGradAccumulatesOverBatch) {
+  Variable x(Tensor::full(Shape{4, 1}, 2.0f), true);
+  Variable lambda(Tensor::from_values({2.0f}), true);
+  Variable y = ag::fitrelu(x, lambda, 4.0f);
+  y.backward();
+  // Four identical samples -> 4x the single-sample gradient.
+  Variable x1(Tensor::full(Shape{1, 1}, 2.0f), true);
+  Variable l1(Tensor::from_values({2.0f}), true);
+  Variable y1 = ag::fitrelu(x1, l1, 4.0f);
+  y1.backward();
+  EXPECT_NEAR(lambda.grad()[0], 4.0f * l1.grad()[0], 1e-5f);
+}
+
+TEST(Ops, SoftmaxCrossEntropyUniformLogits) {
+  Variable logits(Tensor::zeros(Shape{2, 4}), true);
+  Tensor probs;
+  Variable loss = ag::softmax_cross_entropy(logits, {0, 3}, &probs);
+  EXPECT_NEAR(loss.value().item(), std::log(4.0f), 1e-5f);
+  EXPECT_NEAR(probs[0], 0.25f, 1e-6f);
+  loss.backward();
+  // d loss / d logit = (p - y)/B.
+  EXPECT_NEAR(logits.grad()[0], (0.25f - 1.0f) / 2.0f, 1e-5f);
+  EXPECT_NEAR(logits.grad()[1], 0.25f / 2.0f, 1e-5f);
+}
+
+TEST(Ops, SoftmaxCrossEntropyRejectsBadLabels) {
+  Variable logits(Tensor::zeros(Shape{1, 3}), true);
+  EXPECT_THROW(ag::softmax_cross_entropy(logits, {5}), std::out_of_range);
+  EXPECT_THROW(ag::softmax_cross_entropy(logits, {0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Ops, SumOfSquares) {
+  Variable x(Tensor::from_values({1.0f, -2.0f, 3.0f}), true);
+  Variable y = ag::sum_of_squares(x);
+  EXPECT_FLOAT_EQ(y.value().item(), 14.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], -4.0f);
+}
+
+TEST(Ops, MeanAll) {
+  Variable x(Tensor::from_values({2.0f, 4.0f}), true);
+  Variable y = ag::mean_all(x);
+  EXPECT_FLOAT_EQ(y.value().item(), 3.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.5f);
+}
+
+TEST(Ops, FlattenPreservesDataAndGrad) {
+  Variable x(Tensor::zeros(Shape{2, 2, 2, 2}), true);
+  for (std::int64_t i = 0; i < 16; ++i) x.value()[i] = static_cast<float>(i);
+  Variable y = ag::flatten(x);
+  EXPECT_EQ(y.shape(), Shape({2, 8}));
+  EXPECT_FLOAT_EQ(y.value()[5], 5.0f);
+  Variable s = ag::sum_of_squares(y);
+  s.backward();
+  EXPECT_FLOAT_EQ(x.grad()[3], 6.0f);
+}
+
+TEST(Ops, MaxPoolForwardAndRouting) {
+  Variable x(Tensor::zeros(Shape{1, 1, 2, 2}), true);
+  x.value()[0] = 1.0f;
+  x.value()[1] = 5.0f;
+  x.value()[2] = 3.0f;
+  x.value()[3] = 2.0f;
+  Variable y = ag::max_pool2d(x, 2, 2);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y.value()[0], 5.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 1.0f);  // routed to the argmax only
+}
+
+TEST(Ops, GlobalAvgPool) {
+  Variable x(Tensor::zeros(Shape{1, 2, 2, 2}), true);
+  for (std::int64_t i = 0; i < 4; ++i) x.value()[i] = 2.0f;       // c0
+  for (std::int64_t i = 4; i < 8; ++i) x.value()[i] = 6.0f;       // c1
+  Variable y = ag::global_avg_pool(x);
+  EXPECT_EQ(y.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(y.value()[0], 2.0f);
+  EXPECT_FLOAT_EQ(y.value()[1], 6.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.25f);
+}
+
+TEST(Ops, LinearForwardKnownValues) {
+  Variable x(Tensor::from_values({1.0f, 2.0f}).reshape(Shape{1, 2}), false);
+  Variable w(Tensor::from_values({3.0f, 4.0f, 5.0f, 6.0f}).reshape(Shape{2, 2}),
+             true);
+  Variable b(Tensor::from_values({0.5f, -0.5f}), true);
+  Variable y = ag::linear(x, w, b);
+  // y0 = 1*3 + 2*4 + 0.5 = 11.5 ; y1 = 1*5 + 2*6 - 0.5 = 16.5
+  EXPECT_FLOAT_EQ(y.value()[0], 11.5f);
+  EXPECT_FLOAT_EQ(y.value()[1], 16.5f);
+  y.backward();
+  // dW = g^T x with g = ones: each row = x.
+  EXPECT_FLOAT_EQ(w.grad()[0], 1.0f);
+  EXPECT_FLOAT_EQ(w.grad()[1], 2.0f);
+  EXPECT_FLOAT_EQ(b.grad()[0], 1.0f);
+}
+
+TEST(Ops, Conv2dMatchesManualSingleKernel) {
+  // 1 input channel, 1 output channel, 2x2 kernel of ones over 3x3 input:
+  // each output = sum of the 2x2 window.
+  Variable x(Tensor::zeros(Shape{1, 1, 3, 3}), false);
+  for (std::int64_t i = 0; i < 9; ++i) x.value()[i] = static_cast<float>(i);
+  Variable w(Tensor::ones(Shape{1, 1, 2, 2}), true);
+  Variable y = ag::conv2d(x, w, Variable(), 1, 0);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.value()[0], 0.0f + 1 + 3 + 4);
+  EXPECT_FLOAT_EQ(y.value()[1], 1.0f + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(y.value()[2], 3.0f + 4 + 6 + 7);
+  EXPECT_FLOAT_EQ(y.value()[3], 4.0f + 5 + 7 + 8);
+}
+
+TEST(Ops, Conv2dBiasBroadcasts) {
+  Variable x(Tensor::ones(Shape{1, 1, 2, 2}), false);
+  Variable w(Tensor::ones(Shape{2, 1, 1, 1}), false);
+  Variable b(Tensor::from_values({10.0f, 20.0f}), false);
+  Variable y = ag::conv2d(x, w, b, 1, 0);
+  EXPECT_FLOAT_EQ(y.value()[0], 11.0f);
+  EXPECT_FLOAT_EQ(y.value()[4], 21.0f);
+}
+
+TEST(Ops, BatchNormTrainingNormalises) {
+  ut::Rng rng(3);
+  Variable x(Tensor::randn(Shape{8, 2, 4, 4}, rng, 3.0f), false);
+  Variable gamma(Tensor::ones(Shape{2}), true);
+  Variable beta(Tensor::zeros(Shape{2}), true);
+  Tensor rm = Tensor::zeros(Shape{2});
+  Tensor rv = Tensor::ones(Shape{2});
+  Variable y =
+      ag::batch_norm2d(x, gamma, beta, rm, rv, true, 0.1f, 1e-5f);
+  // Output channel statistics ~ N(0, 1).
+  for (std::int64_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    double sum2 = 0.0;
+    std::int64_t n = 0;
+    for (std::int64_t b = 0; b < 8; ++b) {
+      for (std::int64_t i = 0; i < 16; ++i) {
+        const float v = y.value()[b * 32 + c * 16 + i];
+        sum += v;
+        sum2 += static_cast<double>(v) * v;
+        ++n;
+      }
+    }
+    EXPECT_NEAR(sum / n, 0.0, 1e-4);
+    EXPECT_NEAR(sum2 / n, 1.0, 1e-3);
+  }
+  // Running stats moved from their init toward batch stats.
+  EXPECT_NE(rm[0], 0.0f);
+}
+
+TEST(Ops, BatchNormEvalUsesRunningStats) {
+  Variable x(Tensor::full(Shape{1, 1, 1, 2}, 4.0f), false);
+  Variable gamma(Tensor::ones(Shape{1}), false);
+  Variable beta(Tensor::zeros(Shape{1}), false);
+  Tensor rm = Tensor::full(Shape{1}, 2.0f);
+  Tensor rv = Tensor::full(Shape{1}, 4.0f);
+  Variable y = ag::batch_norm2d(x, gamma, beta, rm, rv, false, 0.1f, 0.0f);
+  EXPECT_NEAR(y.value()[0], (4.0f - 2.0f) / 2.0f, 1e-5f);
+  // Eval mode must not touch running stats.
+  EXPECT_FLOAT_EQ(rm[0], 2.0f);
+  EXPECT_FLOAT_EQ(rv[0], 4.0f);
+}
+
+TEST(Ops, MatmulGradientShapes) {
+  ut::Rng rng(4);
+  Variable a(Tensor::randn(Shape{3, 4}, rng), true);
+  Variable b(Tensor::randn(Shape{4, 5}, rng), true);
+  Variable c = ag::matmul(a, b);
+  EXPECT_EQ(c.shape(), Shape({3, 5}));
+  c.backward();
+  EXPECT_EQ(a.grad().shape(), Shape({3, 4}));
+  EXPECT_EQ(b.grad().shape(), Shape({4, 5}));
+}
+
+}  // namespace
+}  // namespace fitact

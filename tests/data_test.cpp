@@ -1,0 +1,153 @@
+// Unit tests for src/data: synthetic dataset determinism and learnability
+// prerequisites, batching, and the loader.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/data_loader.h"
+#include "data/synthetic_cifar.h"
+
+namespace fitact::data {
+namespace {
+
+SyntheticCifarConfig small_config() {
+  SyntheticCifarConfig cfg;
+  cfg.num_classes = 10;
+  cfg.size = 100;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(SyntheticCifar, DeterministicPerIndex) {
+  const SyntheticCifar a(small_config());
+  const SyntheticCifar b(small_config());
+  std::vector<float> img_a(kImageNumel);
+  std::vector<float> img_b(kImageNumel);
+  a.image_into(17, img_a.data());
+  b.image_into(17, img_b.data());
+  EXPECT_EQ(img_a, img_b);
+}
+
+TEST(SyntheticCifar, DifferentIndicesDiffer) {
+  const SyntheticCifar ds(small_config());
+  std::vector<float> x(kImageNumel);
+  std::vector<float> y(kImageNumel);
+  ds.image_into(0, x.data());
+  ds.image_into(10, y.data());  // same class (10 classes, round-robin)
+  EXPECT_NE(x, y);
+}
+
+TEST(SyntheticCifar, SplitsDiffer) {
+  auto splits = make_synthetic_splits(10, 50, 50, 7);
+  std::vector<float> tr(kImageNumel);
+  std::vector<float> te(kImageNumel);
+  splits.train.image_into(0, tr.data());
+  splits.test.image_into(0, te.data());
+  EXPECT_NE(tr, te);
+}
+
+TEST(SyntheticCifar, LabelsAreBalancedRoundRobin) {
+  const SyntheticCifar ds(small_config());
+  std::vector<int> counts(10, 0);
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    ++counts[static_cast<std::size_t>(ds.label(i))];
+  }
+  for (const int c : counts) EXPECT_EQ(c, 10);
+}
+
+TEST(SyntheticCifar, ClassMeansAreSeparated) {
+  // The class-conditional structure must be present: per-class mean images
+  // should differ far more between classes than within-class noise.
+  SyntheticCifarConfig cfg = small_config();
+  cfg.size = 400;
+  const SyntheticCifar ds(cfg);
+  std::vector<std::vector<double>> mean(2, std::vector<double>(kImageNumel, 0.0));
+  std::vector<int> counts(2, 0);
+  std::vector<float> img(kImageNumel);
+  for (std::int64_t i = 0; i < ds.size(); ++i) {
+    const auto c = ds.label(i);
+    if (c > 1) continue;
+    ds.image_into(i, img.data());
+    for (std::int64_t p = 0; p < kImageNumel; ++p) {
+      mean[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)] += img[p];
+    }
+    ++counts[static_cast<std::size_t>(c)];
+  }
+  double dist = 0.0;
+  for (std::int64_t p = 0; p < kImageNumel; ++p) {
+    const double d = mean[0][static_cast<std::size_t>(p)] / counts[0] -
+                     mean[1][static_cast<std::size_t>(p)] / counts[1];
+    dist += d * d;
+  }
+  EXPECT_GT(std::sqrt(dist / kImageNumel), 0.1);
+}
+
+TEST(SyntheticCifar, HundredClassVariant) {
+  SyntheticCifarConfig cfg;
+  cfg.num_classes = 100;
+  cfg.size = 200;
+  const SyntheticCifar ds(cfg);
+  EXPECT_EQ(ds.num_classes(), 100);
+  std::set<std::int64_t> seen;
+  for (std::int64_t i = 0; i < ds.size(); ++i) seen.insert(ds.label(i));
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Dataset, BatchShapesAndLabels) {
+  const SyntheticCifar ds(small_config());
+  std::vector<std::int64_t> labels;
+  const Tensor b = ds.batch(5, 8, &labels);
+  EXPECT_EQ(b.shape(), Shape({8, 3, 32, 32}));
+  ASSERT_EQ(labels.size(), 8u);
+  EXPECT_EQ(labels[0], ds.label(5));
+}
+
+TEST(Dataset, BatchOutOfRangeThrows) {
+  const SyntheticCifar ds(small_config());
+  EXPECT_THROW(ds.batch(95, 10, nullptr), std::out_of_range);
+}
+
+TEST(Dataset, GatherArbitraryIndices) {
+  const SyntheticCifar ds(small_config());
+  std::vector<std::int64_t> labels;
+  const Tensor g = ds.gather({3, 99, 0}, &labels);
+  EXPECT_EQ(g.shape(), Shape({3, 3, 32, 32}));
+  EXPECT_EQ(labels[1], ds.label(99));
+}
+
+TEST(DataLoader, CoversEverySampleOncePerEpoch) {
+  const SyntheticCifar ds(small_config());
+  DataLoader loader(ds, 16, /*shuffle=*/true, 1);
+  Batch batch;
+  std::int64_t seen = 0;
+  while (loader.next(batch)) {
+    seen += static_cast<std::int64_t>(batch.labels.size());
+  }
+  EXPECT_EQ(seen, ds.size());
+  EXPECT_EQ(loader.batches_per_epoch(), (100 + 15) / 16);
+}
+
+TEST(DataLoader, ShuffleChangesOrderBetweenEpochs) {
+  const SyntheticCifar ds(small_config());
+  DataLoader loader(ds, 100, /*shuffle=*/true, 2);
+  Batch e1;
+  loader.next(e1);
+  loader.start_epoch();
+  Batch e2;
+  loader.next(e2);
+  EXPECT_NE(e1.labels, e2.labels);
+}
+
+TEST(DataLoader, NoShuffleIsSequential) {
+  const SyntheticCifar ds(small_config());
+  DataLoader loader(ds, 10, /*shuffle=*/false, 3);
+  Batch batch;
+  loader.next(batch);
+  for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+    EXPECT_EQ(batch.labels[i], ds.label(static_cast<std::int64_t>(i)));
+  }
+}
+
+}  // namespace
+}  // namespace fitact::data

