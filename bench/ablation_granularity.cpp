@@ -4,7 +4,8 @@
 // same trained model, same FitReLU activation, same post-training budget,
 // same fault campaigns.
 //
-// Usage: ablation_granularity [--model vgg16] [--trials N] [--full]
+// Usage: ablation_granularity [--model vgg16] [--trials N] [--threads T]
+//                             [--full]
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
                                   ? ev::ExperimentScale::full()
                                   : ev::ExperimentScale::scaled();
   if (cli.has("trials")) scale.trials = cli.get_int("trials", scale.trials);
+  scale.campaign_threads = cli.get_count("threads", 1);
   const std::string model_name = cli.get("model", "vgg16");
   ut::set_log_level(ut::LogLevel::warn);
 

@@ -5,7 +5,7 @@
 //   2. system-level: clean accuracy and accuracy under faults of a
 //      FitAct-protected model across k values.
 //
-// Usage: ablation_k [--model tinycnn] [--trials N]
+// Usage: ablation_k [--model tinycnn] [--trials N] [--threads T]
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
   const ut::Cli cli(argc, argv);
   ev::ExperimentScale scale = ev::ExperimentScale::scaled();
   if (cli.has("trials")) scale.trials = cli.get_int("trials", scale.trials);
+  scale.campaign_threads = cli.get_count("threads", 1);
   scale.train_size = cli.get_int("train-size", 512);
   const std::string model_name = cli.get("model", "tinycnn");
   ut::set_log_level(ut::LogLevel::warn);

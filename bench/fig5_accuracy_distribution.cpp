@@ -9,9 +9,12 @@
 // (e.g. pass the full_scale_rate_factor to emulate equal absolute flip
 // counts instead; see DESIGN.md).
 //
-// Usage: fig5_accuracy_distribution [--trials N] [--rate-scale S] [--full]
-//                                   [--csv P]
+// Usage: fig5_accuracy_distribution [--trials N] [--threads T] [--rate-scale S]
+//                                   [--full] [--csv P]
+// --threads T fans each campaign's trials out over T worker lanes (0 = one
+// per hardware thread); results are bit-identical to the serial run.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "eval/experiment.h"
@@ -28,14 +31,20 @@ int main(int argc, char** argv) {
                                   ? ev::ExperimentScale::full()
                                   : ev::ExperimentScale::scaled();
   if (cli.has("trials")) scale.trials = cli.get_int("trials", scale.trials);
+  scale.campaign_threads = cli.get_count("threads", 1);
   ut::set_log_level(ut::LogLevel::warn);
 
   ev::PreparedModel pm = ev::prepare_model("vgg16", 10, scale, "fitact_cache");
   const double rate_factor = cli.get_double("rate-scale", 1.0);
+  const std::string lanes =
+      scale.campaign_threads == 0 ? "auto"
+                                  : std::to_string(scale.campaign_threads);
   std::printf("Fig. 5 reproduction: accuracy distribution, VGG16 / CIFAR-10\n"
-              "baseline %.2f%%, %lld trials per cell, rate scale %.1fx\n\n",
+              "baseline %.2f%%, %lld trials per cell, rate scale %.1fx, "
+              "%s campaign lanes\n\n",
               pm.baseline_accuracy * 100.0,
-              static_cast<long long>(scale.trials), rate_factor);
+              static_cast<long long>(scale.trials), rate_factor,
+              lanes.c_str());
 
   ut::CsvWriter csv(cli.get("csv", "fig5_accuracy_distribution.csv"),
                     {"scheme", "fault_rate", "mean", "min", "q1", "median",

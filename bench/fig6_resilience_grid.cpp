@@ -8,8 +8,10 @@
 // corrupted parameters, which is scale-invariant; see DESIGN.md).
 //
 // Usage: fig6_resilience_grid [--models vgg16,alexnet] [--classes 10]
-//                             [--trials N] [--rate-scale S] [--full]
-//                             [--csv P]
+//                             [--trials N] [--threads T] [--rate-scale S]
+//                             [--full] [--csv P]
+// --threads T fans each campaign's trials out over T worker lanes (0 = one
+// per hardware thread); results are bit-identical to the serial run.
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
                                   ? ev::ExperimentScale::full()
                                   : ev::ExperimentScale::scaled();
   if (cli.has("trials")) scale.trials = cli.get_int("trials", scale.trials);
+  scale.campaign_threads = cli.get_count("threads", 1);
   ut::set_log_level(ut::LogLevel::warn);
 
   const auto models =

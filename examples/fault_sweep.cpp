@@ -4,6 +4,7 @@
 // interactive exploration.
 //
 // Run: ./fault_sweep --scheme fitact [--model tinycnn] [--trials 6]
+//                    [--threads 1]   (campaign worker lanes; 0 = auto)
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
   scale.train_epochs = cli.get_int("epochs", 6);
   scale.eval_samples = cli.get_int("eval-samples", 96);
   scale.trials = cli.get_int("trials", 6);
+  scale.campaign_threads = cli.get_count("threads", 1);
 
   ev::PreparedModel pm =
       ev::prepare_model(model_name, cli.get_int("classes", 10), scale,

@@ -7,6 +7,7 @@
 // engineer would need to sign off a protection choice.
 //
 // Run: ./resilient_deployment [--model vgg16] [--classes 10] [--width 0.125]
+//                             [--threads 1]   (campaign worker lanes; 0 = auto)
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   scale.train_epochs = cli.get_int("epochs", 5);
   scale.eval_samples = cli.get_int("eval-samples", 64);
   scale.trials = cli.get_int("trials", 4);
+  scale.campaign_threads = cli.get_count("threads", 1);
 
   std::printf("Preparing %s (classes=%lld) for resilient deployment...\n\n",
               model_name.c_str(), static_cast<long long>(classes));

@@ -113,22 +113,26 @@ void BoundedActivation::init_bounds_from_profile(float margin) {
     b[0] = mx * margin;
   }
 
-  if (bounds_.defined() && bounds_.numel() == extent) {
-    bounds_.value().copy_from(b);
-  } else {
-    bounds_ = Variable(std::move(b), /*requires_grad=*/false);
-    register_or_replace_parameter("lambda", bounds_);
-    bounds_registered_ = true;
-  }
+  // Reinitialising existing same-extent storage keeps its trainability
+  // (post-training may have enabled gradients); fresh storage starts
+  // non-trainable until post-training opts in.
+  set_bounds(b, bounds_.defined() && bounds_.numel() == extent &&
+                    bounds_.requires_grad());
 }
 
 void BoundedActivation::set_layer_bound(float bound) {
   config_.granularity = Granularity::per_layer;
-  Tensor b = Tensor::full(Shape{1}, bound);
-  if (bounds_.defined() && bounds_.numel() == 1) {
-    bounds_.value().copy_from(b);
+  set_bounds(Tensor::full(Shape{1}, bound),
+             bounds_.defined() && bounds_.numel() == 1 &&
+                 bounds_.requires_grad());
+}
+
+void BoundedActivation::set_bounds(const Tensor& values, bool trainable) {
+  if (bounds_.defined() && bounds_.numel() == values.numel()) {
+    bounds_.value().copy_from(values);
+    bounds_.set_requires_grad(trainable);
   } else {
-    bounds_ = Variable(std::move(b), false);
+    bounds_ = Variable(values.clone(), trainable);
     register_or_replace_parameter("lambda", bounds_);
     bounds_registered_ = true;
   }

@@ -89,6 +89,12 @@ class BoundedActivation final : public nn::Module {
   /// Directly set a per-layer bound (used by tests and the Fig. 1 sweep).
   void set_layer_bound(float bound);
 
+  /// Install bound storage of arbitrary extent directly, bypassing the
+  /// profile. Used when replicating a protected model (e.g. per-worker
+  /// campaign replicas): the source site's bound values are copied in
+  /// verbatim at whatever granularity they already have.
+  void set_bounds(const Tensor& values, bool trainable);
+
   [[nodiscard]] bool has_bounds() const noexcept { return bounds_.defined(); }
   /// Trainable for Scheme::fitrelu; plain storage otherwise.
   [[nodiscard]] Variable& bounds() { return bounds_; }
@@ -115,6 +121,9 @@ class BoundedActivation final : public nn::Module {
     corruptor_ = std::move(corruptor);
   }
   void clear_input_corruptor() { corruptor_ = nullptr; }
+  [[nodiscard]] bool has_input_corruptor() const noexcept {
+    return corruptor_ != nullptr;
+  }
 
  private:
   void observe_geometry(const Shape& xs);

@@ -35,4 +35,13 @@ inline void apply_protection(nn::Module& model, Scheme scheme) {
   apply_protection(model, scheme, default_options(scheme));
 }
 
+/// Copy scheme, granularity, steepness, and bound storage from every
+/// activation site of `src` onto the matching site of `dst` (same
+/// architecture; sites are matched by registration order). Unlike
+/// apply_protection this needs no profile on `dst`, so it can stamp out
+/// ready-to-evaluate replicas of a protected model — the per-worker model
+/// copies of the parallel fault-campaign engine. Throws std::invalid_argument
+/// when the two trees have different activation-site counts.
+void replicate_protection(const nn::Module& src, nn::Module& dst);
+
 }  // namespace fitact::core

@@ -126,6 +126,7 @@ PreparedModel prepare_model(const std::string& model_name,
   cfg.width_mult = scale.width_for(model_name);
   cfg.activation.scheme = core::Scheme::relu;
   cfg.seed = seed;
+  pm.model_config = cfg;
   pm.model = models::make_model(model_name, cfg);
 
   std::string path;
@@ -192,22 +193,51 @@ ProtectReport protect_model(PreparedModel& pm, core::Scheme scheme,
   return report;
 }
 
+std::shared_ptr<nn::Module> replicate_model(const PreparedModel& pm) {
+  auto replica = models::make_model(pm.model_name, pm.model_config);
+  core::replicate_protection(*pm.model, *replica);
+  nn::copy_state(*pm.model, *replica);
+  replica->set_training(false);
+  return replica;
+}
+
+fault::WorkerFactory make_campaign_worker_factory(PreparedModel& pm,
+                                                  const EvalConfig& ec) {
+  struct Lane {
+    std::shared_ptr<nn::Module> model;
+    std::unique_ptr<quant::ParamImage> image;
+    std::unique_ptr<fault::Injector> injector;
+  };
+  const std::shared_ptr<data::Dataset> test = pm.test;
+  return [&pm, test, ec](std::size_t lane) {
+    auto ctx = std::make_shared<Lane>();
+    ctx->model = lane == 0 ? pm.model : replicate_model(pm);
+    ctx->image =
+        std::make_unique<quant::ParamImage>(*ctx->model,
+                                            /*include_buffers=*/false);
+    ctx->injector = std::make_unique<fault::Injector>(*ctx->image);
+    fault::CampaignWorker w;
+    w.keepalive = ctx;
+    w.injector = ctx->injector.get();
+    w.evaluate = [ctx, test, ec] {
+      return evaluate_accuracy(*ctx->model, *test, ec);
+    };
+    return w;
+  };
+}
+
 fault::CampaignResult campaign_at_rate(PreparedModel& pm,
                                        double bit_error_rate,
                                        const ExperimentScale& scale,
                                        std::uint64_t seed) {
-  quant::ParamImage image(*pm.model, /*include_buffers=*/false);
-  fault::Injector injector(image);
   EvalConfig ec;
   ec.max_samples = scale.eval_samples;
-  const auto evaluate = [&] {
-    return evaluate_accuracy(*pm.model, *pm.test, ec);
-  };
   fault::CampaignConfig cc;
   cc.bit_error_rate = bit_error_rate;
   cc.trials = scale.trials;
   cc.seed = seed;
-  return fault::run_campaign(injector, evaluate, cc);
+  cc.threads = scale.campaign_threads;
+  return fault::run_campaign(make_campaign_worker_factory(pm, ec), cc);
 }
 
 double clean_subset_accuracy(PreparedModel& pm, const ExperimentScale& scale) {

@@ -20,6 +20,7 @@
 #include "eval/metrics.h"
 #include "eval/trainer.h"
 #include "fault/campaign.h"
+#include "models/model_config.h"
 #include "nn/module.h"
 
 namespace fitact::ev {
@@ -38,6 +39,13 @@ struct ExperimentScale {
   std::int64_t profile_samples = 512;
   std::int64_t eval_samples = 64;  ///< per campaign trial
   std::int64_t trials = 5;         ///< campaign trials per (rate, scheme)
+  /// Worker lanes for fault campaigns (fault::CampaignConfig::threads):
+  /// 1 = serial, 0 = one lane per hardware thread. Each extra lane
+  /// evaluates trials on its own replica of the protected model; results
+  /// are bit-identical at every setting. Lanes run their kernels inline,
+  /// so intermediate values cap total concurrency at the lane count — use
+  /// 0 to saturate a multi-core host (see CampaignConfig::threads).
+  std::size_t campaign_threads = 1;
   core::PostTrainConfig post;      ///< FitAct stage-2 settings
 
   [[nodiscard]] static ExperimentScale scaled();
@@ -54,6 +62,9 @@ struct ExperimentScale {
 struct PreparedModel {
   std::string model_name;
   std::int64_t num_classes = 10;
+  /// The exact configuration the model was built with; campaign workers use
+  /// it to stamp out architecturally identical replicas.
+  models::ModelConfig model_config;
   std::shared_ptr<nn::Module> model;
   std::shared_ptr<data::Dataset> train;
   std::shared_ptr<data::Dataset> test;
@@ -86,7 +97,21 @@ ProtectReport protect_model(PreparedModel& pm, core::Scheme scheme,
                             const ExperimentScale& scale,
                             bool skip_post_training = false);
 
-/// Run a fault campaign on the (already protected) model at one rate.
+/// Architecturally identical, value-identical copy of the prepared model in
+/// its current (possibly protected) state, in eval mode. Campaign worker
+/// lanes each get one so trials can run concurrently.
+[[nodiscard]] std::shared_ptr<nn::Module> replicate_model(
+    const PreparedModel& pm);
+
+/// Campaign worker factory over the prepared model: lane 0 injects into
+/// pm.model itself (and leaves it restored), every other lane gets its own
+/// replica + parameter image + injector; all lanes evaluate accuracy on
+/// pm.test under `ec`. `pm` must outlive the campaign run.
+[[nodiscard]] fault::WorkerFactory make_campaign_worker_factory(
+    PreparedModel& pm, const EvalConfig& ec);
+
+/// Run a fault campaign on the (already protected) model at one rate,
+/// fanned out over `scale.campaign_threads` worker lanes.
 [[nodiscard]] fault::CampaignResult campaign_at_rate(
     PreparedModel& pm, double bit_error_rate, const ExperimentScale& scale,
     std::uint64_t seed);

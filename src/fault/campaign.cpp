@@ -1,40 +1,123 @@
 #include "fault/campaign.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "util/thread_pool.h"
 
 namespace fitact::fault {
+
+void aggregate(CampaignResult& result) {
+  if (result.accuracies.empty()) {
+    result.mean_accuracy = 0.0;
+    result.min_accuracy = 0.0;
+    result.max_accuracy = 0.0;
+    return;
+  }
+  double sum = 0.0;
+  double lo = result.accuracies.front();
+  double hi = lo;
+  for (const double a : result.accuracies) {
+    sum += a;
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  result.mean_accuracy = sum / static_cast<double>(result.accuracies.size());
+  result.min_accuracy = lo;
+  result.max_accuracy = hi;
+}
+
+CampaignResult run_campaign(const WorkerFactory& make_worker,
+                            const CampaignConfig& config) {
+  const std::size_t trials =
+      config.trials > 0 ? static_cast<std::size_t>(config.trials) : 0;
+  CampaignResult result;
+  result.accuracies.assign(trials, 0.0);
+  result.flip_counts.assign(trials, 0);
+  if (trials == 0) return result;
+
+  // Pre-split every trial's stream from the root in serial order: trial t
+  // always sees the same stream no matter which lane runs it.
+  ut::Rng root(config.seed);
+  std::vector<ut::Rng> streams;
+  streams.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) streams.push_back(root.split());
+
+  FaultModel model = config.fault_model;
+  model.bit_error_rate = config.bit_error_rate;
+
+  const auto run_range = [&](CampaignWorker& w, std::size_t begin,
+                             std::size_t end) {
+    for (std::size_t t = begin; t < end; ++t) {
+      const InjectionRecord rec = w.injector->inject(model, streams[t]);
+      try {
+        result.accuracies[t] = w.evaluate();
+      } catch (...) {
+        // Keep the restore contract even when evaluate throws: the lane's
+        // model (for lane 0, the caller's model) must not stay corrupted.
+        w.injector->restore();
+        throw;
+      }
+      w.injector->restore();
+      result.flip_counts[t] = rec.fault_events;
+    }
+  };
+
+  std::size_t lanes =
+      config.threads == 0 ? ut::default_thread_count() : config.threads;
+  lanes = std::min(lanes, trials);
+
+  if (lanes <= 1) {
+    CampaignWorker worker = make_worker(0);
+    run_range(worker, 0, trials);
+  } else {
+    // Pool sizing: parallel_for currently cuts the range into
+    // min(trials, size() + 1) contiguous chunks, so shrink the lane count
+    // to the number of chunks that will actually be nonempty. This is a
+    // pure efficiency heuristic (don't build replicas no chunk will use);
+    // correctness relies only on parallel_for_slotted's slot < size() + 1
+    // contract below.
+    const std::size_t chunk = (trials + lanes - 1) / lanes;
+    lanes = (trials + chunk - 1) / chunk;
+    // Every lane is built before the first trial runs: replica lanes
+    // typically clone the lane-0 model, which the campaign is about to
+    // corrupt, so construction must not overlap the trials.
+    std::vector<CampaignWorker> workers;
+    workers.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) workers.push_back(make_worker(i));
+    // The calling thread runs one chunk itself; each concurrently running
+    // chunk checks out a distinct slot (< lanes), and a slot's worker is
+    // reused when the chunking produces more chunks than lanes. A lane
+    // that throws surfaces here: parallel_for_slotted finishes the other
+    // chunks and rethrows the first exception on this thread.
+    ut::ThreadPool pool(lanes - 1);
+    pool.parallel_for_slotted(
+        0, trials,
+        [&](std::size_t slot, std::size_t begin, std::size_t end) {
+          if (slot >= workers.size()) {
+            throw std::logic_error(
+                "run_campaign: slot id exceeds the lane count");
+          }
+          run_range(workers[slot], begin, end);
+        });
+  }
+  aggregate(result);
+  return result;
+}
 
 CampaignResult run_campaign(Injector& injector,
                             const std::function<double()>& evaluate,
                             const CampaignConfig& config) {
-  CampaignResult result;
-  result.accuracies.reserve(static_cast<std::size_t>(config.trials));
-  result.flip_counts.reserve(static_cast<std::size_t>(config.trials));
-  ut::Rng rng(config.seed);
-  FaultModel model = config.fault_model;
-  model.bit_error_rate = config.bit_error_rate;
-  for (std::int64_t t = 0; t < config.trials; ++t) {
-    ut::Rng trial_rng = rng.split();
-    const InjectionRecord rec = injector.inject(model, trial_rng);
-    const double acc = evaluate();
-    injector.restore();
-    result.accuracies.push_back(acc);
-    result.flip_counts.push_back(rec.fault_events);
-  }
-  if (!result.accuracies.empty()) {
-    double sum = 0.0;
-    double lo = result.accuracies.front();
-    double hi = lo;
-    for (const double a : result.accuracies) {
-      sum += a;
-      lo = std::min(lo, a);
-      hi = std::max(hi, a);
-    }
-    result.mean_accuracy = sum / static_cast<double>(result.accuracies.size());
-    result.min_accuracy = lo;
-    result.max_accuracy = hi;
-  }
-  return result;
+  CampaignConfig serial = config;
+  serial.threads = 1;
+  return run_campaign(
+      [&](std::size_t) {
+        CampaignWorker w;
+        w.injector = &injector;
+        w.evaluate = evaluate;
+        return w;
+      },
+      serial);
 }
 
 }  // namespace fitact::fault

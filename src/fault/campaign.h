@@ -1,10 +1,17 @@
 // Fault-injection campaign: repeated inject -> evaluate -> restore trials at
 // a fixed bit error rate, producing the accuracy distribution behind the
 // paper's Fig. 5 (box plots) and Fig. 6 (means).
+//
+// The engine fans trials out over a thread pool. Per-trial RNG streams are
+// pre-split from the campaign seed in serial order, each trial writes its
+// results into a fixed slot, and every worker lane operates on its own
+// model replica, so a campaign's CampaignResult is bit-identical for any
+// `threads` setting (including the serial threads = 1 path).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "fault/injector.h"
@@ -15,6 +22,18 @@ struct CampaignConfig {
   double bit_error_rate = 1e-6;
   std::int64_t trials = 16;
   std::uint64_t seed = 1234;
+  /// Worker lanes for the parallel engine: 1 runs serially on the calling
+  /// thread, 0 uses one lane per hardware thread. Only the factory overload
+  /// of run_campaign can use more than one lane (each lane needs its own
+  /// model replica); results are bit-identical for every value.
+  ///
+  /// Utilization note: inside a lane, nested kernel parallelism (GEMM /
+  /// conv parallel_for) runs inline, while at threads = 1 evaluate() fans
+  /// kernels over the global pool. An intermediate setting (e.g. 2 lanes
+  /// on an 8-core host) therefore caps total concurrency at the lane
+  /// count and can be *slower* than serial; use 0 (or >= the core count)
+  /// to saturate the machine.
+  std::size_t threads = 1;
   /// Fault class and bit-range; bit_error_rate above overrides the model's
   /// own rate field. Defaults to the paper's uniform transient bit flips.
   FaultModel fault_model;
@@ -28,9 +47,37 @@ struct CampaignResult {
   double max_accuracy = 0.0;
 };
 
-/// Runs the campaign. `evaluate` measures model accuracy on the (faulty)
-/// model and must not mutate parameters. The model is restored to the clean
-/// image after every trial and at the end.
+/// Recompute mean/min/max from `accuracies` (zeros when empty).
+void aggregate(CampaignResult& result);
+
+/// Everything one worker lane needs: an injector over the lane's own
+/// parameter image and an `evaluate` bound to the same replica. `evaluate`
+/// measures model accuracy on the (faulty) replica and must not mutate its
+/// parameters; the engine restores the clean image after every trial.
+/// `keepalive` owns whatever the lane's pointers reference (replica model,
+/// image, injector) for the duration of the campaign.
+struct CampaignWorker {
+  std::shared_ptr<void> keepalive;
+  Injector* injector = nullptr;
+  std::function<double()> evaluate;
+};
+
+/// Builds the worker for one lane (0-based). Lane 0 may wrap the original
+/// model; every other lane must return an independent replica so trials can
+/// run concurrently. The engine builds every lane on the calling thread
+/// before any trial runs (replicas typically clone the lane-0 model, which
+/// the trials then corrupt).
+using WorkerFactory = std::function<CampaignWorker(std::size_t lane)>;
+
+/// Runs the campaign over `config.threads` lanes built by `make_worker`.
+/// Each lane's model is restored to its clean image after every trial and
+/// at the end.
+CampaignResult run_campaign(const WorkerFactory& make_worker,
+                            const CampaignConfig& config);
+
+/// Single-model convenience entry point. The engine cannot replicate the
+/// model behind `injector`, so this overload always runs serially on the
+/// calling thread regardless of `config.threads`.
 CampaignResult run_campaign(Injector& injector,
                             const std::function<double()>& evaluate,
                             const CampaignConfig& config);

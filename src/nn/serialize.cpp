@@ -42,6 +42,32 @@ void write_entry(std::ostream& os, const std::string& name,
            static_cast<std::streamsize>(t.numel() * sizeof(float)));
 }
 
+/// Every writable state entry of `m`, by dotted name. The mapped Tensors
+/// share storage with the module, so writing into them updates it.
+std::map<std::string, Tensor> state_targets(const Module& m) {
+  std::map<std::string, Tensor> targets;
+  for (auto& p : m.named_parameters()) targets.emplace(p.name, p.var.value());
+  for (auto& b : m.named_buffers()) targets.emplace(b.name, b.tensor);
+  return targets;
+}
+
+/// Look up `name` in the target map and check it matches `shape`;
+/// `context` prefixes error messages ("load_state: ...").
+Tensor& find_target(std::map<std::string, Tensor>& targets,
+                    const std::string& name, const Shape& shape,
+                    const std::string& context) {
+  const auto it = targets.find(name);
+  if (it == targets.end()) {
+    throw std::runtime_error(context + ": unknown entry '" + name + "'");
+  }
+  if (it->second.shape() != shape) {
+    throw std::runtime_error(context + ": shape mismatch for '" + name +
+                             "': source " + shape.str() + " vs module " +
+                             it->second.shape().str());
+  }
+  return it->second;
+}
+
 }  // namespace
 
 void save_state(const Module& m, const std::string& path) {
@@ -68,10 +94,8 @@ bool load_state(Module& m, const std::string& path) {
   }
   const std::uint64_t count = read_u64(is);
 
-  std::map<std::string, Tensor> targets;
-  for (auto& p : m.named_parameters()) targets.emplace(p.name, p.var.value());
-  for (auto& b : m.named_buffers()) targets.emplace(b.name, b.tensor);
-
+  std::map<std::string, Tensor> targets = state_targets(m);
+  const std::string context = "load_state(" + path + ")";
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t name_len = read_u64(is);
     std::string name(name_len, '\0');
@@ -79,24 +103,29 @@ bool load_state(Module& m, const std::string& path) {
     const std::uint32_t rank = read_u32(is);
     std::vector<std::int64_t> dims(rank);
     for (auto& d : dims) d = static_cast<std::int64_t>(read_u64(is));
-    const Shape shape{dims};
-    const auto it = targets.find(name);
-    if (it == targets.end()) {
-      throw std::runtime_error("load_state: unknown entry '" + name + "' in " +
-                               path);
-    }
-    if (it->second.shape() != shape) {
-      throw std::runtime_error("load_state: shape mismatch for '" + name +
-                               "': file " + shape.str() + " vs module " +
-                               it->second.shape().str());
-    }
-    is.read(reinterpret_cast<char*>(it->second.data()),
-            static_cast<std::streamsize>(it->second.numel() * sizeof(float)));
+    Tensor& target =
+        find_target(targets, name, Shape{dims}, context);
+    is.read(reinterpret_cast<char*>(target.data()),
+            static_cast<std::streamsize>(target.numel() * sizeof(float)));
     if (!is) {
       throw std::runtime_error("load_state: truncated file " + path);
     }
   }
   return true;
+}
+
+void copy_state(const Module& src, Module& dst) {
+  std::map<std::string, Tensor> targets = state_targets(dst);
+  std::size_t copied = 0;
+  for (const auto& [name, value] : state_targets(src)) {
+    find_target(targets, name, value.shape(), "copy_state").copy_from(value);
+    ++copied;
+  }
+  if (copied != targets.size()) {
+    throw std::runtime_error(
+        "copy_state: destination has entries the source lacks (" +
+        std::to_string(targets.size()) + " vs " + std::to_string(copied) + ")");
+  }
 }
 
 }  // namespace fitact::nn

@@ -20,4 +20,10 @@ void save_state(const Module& m, const std::string& path);
 /// throws std::runtime_error on malformed files or name/shape mismatches.
 bool load_state(Module& m, const std::string& path);
 
+/// In-memory save/load round trip: copy every parameter and buffer of `src`
+/// into the same-named entry of `dst`. The two modules must expose exactly
+/// the same names with matching shapes; throws std::runtime_error otherwise.
+/// Used to stamp out value-identical model replicas (parallel campaigns).
+void copy_state(const Module& src, Module& dst);
+
 }  // namespace fitact::nn

@@ -44,6 +44,21 @@ std::int64_t Cli::get_int(const std::string& name,
   return std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
+std::size_t Cli::get_count(const std::string& name,
+                           std::int64_t fallback) const {
+  std::int64_t v = fallback;
+  const auto it = options_.find(name);
+  if (it != options_.end()) {
+    char* end = nullptr;
+    const std::int64_t parsed = std::strtoll(it->second.c_str(), &end, 10);
+    // Non-numeric input (strtoll would yield 0 = the "auto/maximum"
+    // setting for --threads) falls back like a negative value does.
+    if (end != it->second.c_str() && *end == '\0') v = parsed;
+  }
+  if (v < 0) v = fallback < 0 ? 0 : fallback;
+  return static_cast<std::size_t>(v);
+}
+
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;

@@ -18,6 +18,13 @@ class Cli {
                                 const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
+  /// get_int for count-valued options (--threads, --trials) that are later
+  /// converted to unsigned types: a negative value (typo, script
+  /// arithmetic gone wrong) falls back to `fallback` as if the option were
+  /// absent, instead of wrapping to a huge count or silently selecting an
+  /// extreme setting. `fallback` must be >= 0.
+  [[nodiscard]] std::size_t get_count(const std::string& name,
+                                      std::int64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   /// True when "--flag" or "--flag=true|1" was passed.

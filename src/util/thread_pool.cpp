@@ -2,15 +2,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
 
 namespace fitact::ut {
 namespace {
-// Set while a pool worker executes a task. Nested parallel_for calls from
-// inside a worker run inline instead of re-entering the pool: with a small
-// pool, workers waiting on sub-tasks that only other (equally blocked)
-// workers could run would stall the process.
+// Set while a pool worker executes a task — and while the calling thread
+// executes its own chunk of a parallel_for. Nested parallel_for calls from
+// either run inline instead of re-entering a pool: with a small pool,
+// workers waiting on sub-tasks that only other (equally blocked) workers
+// could run would stall the process, and a calling-thread chunk fanning
+// nested kernels over the global pool would oversubscribe the cores its
+// sibling chunks are already using.
 thread_local bool tl_in_worker = false;
+
+// RAII: mark the current thread as executing pool work.
+struct InWorkerScope {
+  InWorkerScope() noexcept { tl_in_worker = true; }
+  ~InWorkerScope() { tl_in_worker = false; }
+  InWorkerScope(const InWorkerScope&) = delete;
+  InWorkerScope& operator=(const InWorkerScope&) = delete;
+};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -40,9 +52,8 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    tl_in_worker = true;
+    const InWorkerScope scope;
     task();
-    tl_in_worker = false;
   }
 }
 
@@ -95,11 +106,59 @@ void ThreadPool::parallel_for(
       sync->done.notify_one();
     });
   }
-  // The calling thread executes the first chunk itself.
-  fn(begin, std::min(end, begin + chunk));
+  // The calling thread executes the first chunk itself, flagged as pool
+  // work so nested kernel parallel_for calls run inline like they do on
+  // the worker-thread chunks.
+  {
+    const InWorkerScope scope;
+    fn(begin, std::min(end, begin + chunk));
+  }
 
   std::unique_lock<std::mutex> lock(sync->m);
   sync->done.wait(lock, [&] { return sync->pending == 0; });
+}
+
+void ThreadPool::parallel_for_slotted(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  // Slot ids are acquired when a chunk starts and released when it ends, so
+  // an id is always < the number of concurrently running chunks, which the
+  // execution model bounds by size() + 1 regardless of chunking policy.
+  // Exceptions are captured here rather than propagated out of the chunk
+  // callback: a throw on a pool worker would escape worker_loop and
+  // std::terminate, and a throw on the calling thread would return from
+  // parallel_for while enqueued chunks still reference this frame.
+  struct State {
+    std::mutex m;
+    std::vector<std::size_t> free;
+    std::size_t next = 0;
+    std::exception_ptr error;
+    std::size_t acquire() {
+      const std::lock_guard<std::mutex> lock(m);
+      if (!free.empty()) {
+        const std::size_t s = free.back();
+        free.pop_back();
+        return s;
+      }
+      return next++;
+    }
+    void release(std::size_t s) {
+      const std::lock_guard<std::mutex> lock(m);
+      free.push_back(s);
+    }
+  };
+  auto state = std::make_shared<State>();
+  parallel_for(begin, end, [&fn, state](std::size_t b, std::size_t e) {
+    const std::size_t slot = state->acquire();
+    try {
+      fn(slot, b, e);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(state->m);
+      if (!state->error) state->error = std::current_exception();
+    }
+    state->release(slot);
+  });
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 void ThreadPool::parallel_for_each(std::size_t begin, std::size_t end,
@@ -140,7 +199,10 @@ void ThreadPool::parallel_for_each(std::size_t begin, std::size_t end,
       sync->done.notify_one();
     });
   }
-  worker();
+  {
+    const InWorkerScope scope;
+    worker();
+  }
   std::unique_lock<std::mutex> lock(sync->m);
   sync->done.wait(lock, [&] { return sync->pending == 0; });
 }
@@ -152,17 +214,20 @@ std::size_t& global_threads_setting() {
 }
 }  // namespace
 
+std::size_t default_thread_count() noexcept {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 2 : static_cast<std::size_t>(hc);
+}
+
 std::size_t set_global_threads(std::size_t n) {
   global_threads_setting() = n;
-  return n == 0 ? std::max(1u, std::thread::hardware_concurrency()) : n;
+  return n == 0 ? default_thread_count() : n;
 }
 
 ThreadPool& global_pool() {
   static ThreadPool pool([] {
     const std::size_t n = global_threads_setting();
-    if (n > 0) return n;
-    const unsigned hc = std::thread::hardware_concurrency();
-    return static_cast<std::size_t>(hc == 0 ? 2 : hc);
+    return n > 0 ? n : default_thread_count();
   }());
   return pool;
 }

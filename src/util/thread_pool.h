@@ -1,9 +1,12 @@
 // Minimal fixed-size thread pool with a blocking parallel_for.
 //
-// The pool is used by the GEMM kernel, the conv2d im2col driver, and the
-// fault-injection campaign runner. A process-wide pool (global_pool) avoids
-// repeated thread creation; its size defaults to the hardware concurrency
-// and can be capped via set_global_threads before first use.
+// The process-wide pool (global_pool) serves the GEMM kernel and the conv2d
+// im2col driver; it avoids repeated thread creation, defaults to the
+// hardware concurrency, and can be capped via set_global_threads before
+// first use. The fault-injection campaign engine (fault::run_campaign)
+// instead constructs its own ThreadPool sized to CampaignConfig::threads,
+// one lane per model replica; nested kernel parallel_for calls from inside
+// those lanes run inline (see tl_in_worker in thread_pool.cpp).
 #pragma once
 
 #include <condition_variable>
@@ -37,6 +40,19 @@ class ThreadPool {
   void parallel_for_each(std::size_t begin, std::size_t end, std::size_t grain,
                          const std::function<void(std::size_t)>& fn);
 
+  /// parallel_for variant that also hands fn an execution-slot id. The
+  /// pool guarantees the id is < size() + 1 and unique among concurrently
+  /// running chunks (slots are recycled as chunks finish), independent of
+  /// how the range is chunked. Callers that need per-execution state — one
+  /// model replica per fault-campaign lane — index it by slot instead of
+  /// re-deriving the pool's chunking policy. If fn throws, every chunk is
+  /// still driven to completion and the first exception is rethrown on the
+  /// calling thread afterwards (exceptions never unwind a pool worker).
+  void parallel_for_slotted(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t slot, std::size_t, std::size_t)>&
+          fn);
+
  private:
   void worker_loop();
   void enqueue(std::function<void()> task);
@@ -47,6 +63,10 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// Default worker count for "use every hardware thread" requests: the
+/// hardware concurrency, or 2 when the runtime cannot report it.
+[[nodiscard]] std::size_t default_thread_count() noexcept;
 
 /// Process-wide pool, created on first use.
 ThreadPool& global_pool();

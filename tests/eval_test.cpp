@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <stdexcept>
 
+#include "core/activation.h"
 #include "data/synthetic_cifar.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
@@ -86,7 +88,7 @@ TEST(Metrics, MaxSamplesCapsEvaluation) {
   EvalConfig ec;
   ec.max_samples = 20;
   ec.batch_size = 8;
-  evaluate_accuracy(m, ds, ec);
+  (void)evaluate_accuracy(m, ds, ec);
   EXPECT_EQ(m.seen, 20);
 }
 
@@ -166,6 +168,64 @@ TEST(Experiment, ProtectAndCampaignSmoke) {
 
   const ProtectReport fit = protect_model(pm, core::Scheme::fitrelu, scale);
   EXPECT_TRUE(fit.post_trained);
+}
+
+TEST(Experiment, ReplicaEvaluatesIdentically) {
+  ExperimentScale scale = ExperimentScale::scaled();
+  scale.train_size = 96;
+  scale.test_size = 48;
+  scale.train_epochs = 2;
+  scale.eval_samples = 24;
+  scale.post.epochs = 1;
+  scale.post.max_batches_per_epoch = 3;
+  PreparedModel pm = prepare_model("tinycnn", 10, scale, "", 17);
+  (void)protect_model(pm, core::Scheme::fitrelu, scale);
+
+  const auto replica = replicate_model(pm);
+  EvalConfig ec;
+  ec.max_samples = scale.eval_samples;
+  const double orig = evaluate_accuracy(*pm.model, *pm.test, ec);
+  const double copy = evaluate_accuracy(*replica, *pm.test, ec);
+  EXPECT_DOUBLE_EQ(orig, copy);
+}
+
+TEST(Experiment, ReplicationRefusesInstalledCorruptor) {
+  ExperimentScale scale = ExperimentScale::scaled();
+  scale.train_size = 96;
+  scale.test_size = 48;
+  scale.train_epochs = 1;
+  PreparedModel pm = prepare_model("tinycnn", 10, scale, "", 23);
+  (void)protect_model(pm, core::Scheme::clip_act, scale);
+  const auto sites = core::collect_activations(*pm.model);
+  ASSERT_FALSE(sites.empty());
+  sites[0]->set_input_corruptor([](Tensor&) {});
+  // A replica cannot carry the (possibly stateful) corruptor closure; the
+  // engine must refuse instead of silently evaluating replicas fault-free.
+  EXPECT_THROW((void)replicate_model(pm), std::invalid_argument);
+  sites[0]->clear_input_corruptor();
+  EXPECT_NO_THROW((void)replicate_model(pm));
+}
+
+TEST(Experiment, ParallelCampaignMatchesSerial) {
+  ExperimentScale scale = ExperimentScale::scaled();
+  scale.train_size = 96;
+  scale.test_size = 48;
+  scale.train_epochs = 2;
+  scale.eval_samples = 24;
+  scale.trials = 6;
+  PreparedModel pm = prepare_model("tinycnn", 10, scale, "", 19);
+  (void)protect_model(pm, core::Scheme::clip_act, scale);
+
+  scale.campaign_threads = 1;
+  const auto serial = campaign_at_rate(pm, 1e-5, scale, 33);
+  for (const std::size_t threads : {2u, 8u}) {
+    scale.campaign_threads = threads;
+    const auto parallel = campaign_at_rate(pm, 1e-5, scale, 33);
+    EXPECT_EQ(serial.accuracies, parallel.accuracies)
+        << "threads = " << threads;
+    EXPECT_EQ(serial.flip_counts, parallel.flip_counts)
+        << "threads = " << threads;
+  }
 }
 
 }  // namespace

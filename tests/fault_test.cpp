@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <stdexcept>
 
 #include "fault/campaign.h"
 #include "fault/injector.h"
@@ -174,6 +176,156 @@ TEST(Campaign, StatisticsComputed) {
   EXPECT_NEAR(res.min_accuracy, 0.1, 1e-12);
   EXPECT_NEAR(res.max_accuracy, 0.5, 1e-12);
   EXPECT_NEAR(res.mean_accuracy, 0.3, 1e-12);
+}
+
+TEST(Campaign, AggregationMatchesHandComputedFixture) {
+  CampaignResult r;
+  r.accuracies = {0.75, 0.10, 0.40, 0.95, 0.30};
+  aggregate(r);
+  EXPECT_DOUBLE_EQ(r.mean_accuracy, (0.75 + 0.10 + 0.40 + 0.95 + 0.30) / 5.0);
+  EXPECT_DOUBLE_EQ(r.min_accuracy, 0.10);
+  EXPECT_DOUBLE_EQ(r.max_accuracy, 0.95);
+
+  CampaignResult empty;
+  aggregate(empty);
+  EXPECT_DOUBLE_EQ(empty.mean_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(empty.min_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max_accuracy, 0.0);
+}
+
+namespace {
+
+// One lane = one independent replica of the same network: identical seed,
+// own image/injector, and an evaluate that reads the lane's own (faulty)
+// parameters, so any cross-lane interference or trial-stream reordering
+// would show up as a result difference.
+CampaignWorker make_replica_worker(std::size_t /*lane*/) {
+  struct Lane {
+    std::shared_ptr<nn::Sequential> net = small_net(3);
+    quant::ParamImage image{*net};
+    std::unique_ptr<Injector> injector;
+  };
+  auto ctx = std::make_shared<Lane>();
+  ctx->injector = std::make_unique<Injector>(ctx->image);
+  CampaignWorker w;
+  w.keepalive = ctx;
+  w.injector = ctx->injector.get();
+  w.evaluate = [ctx] {
+    double sum = 0.0;
+    for (auto& p : ctx->net->named_parameters()) {
+      for (const float v : p.var.value().span()) sum += v;
+    }
+    return sum;
+  };
+  return w;
+}
+
+}  // namespace
+
+TEST(Campaign, BitIdenticalAcrossThreadCounts) {
+  CampaignConfig cfg;
+  cfg.bit_error_rate = 5e-4;
+  cfg.trials = 12;
+  cfg.seed = 2024;
+  cfg.threads = 1;
+  const CampaignResult serial = run_campaign(make_replica_worker, cfg);
+  ASSERT_EQ(serial.accuracies.size(), 12u);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    cfg.threads = threads;
+    const CampaignResult parallel = run_campaign(make_replica_worker, cfg);
+    EXPECT_EQ(serial.accuracies, parallel.accuracies)
+        << "threads = " << threads;
+    EXPECT_EQ(serial.flip_counts, parallel.flip_counts)
+        << "threads = " << threads;
+    EXPECT_DOUBLE_EQ(serial.mean_accuracy, parallel.mean_accuracy);
+    EXPECT_DOUBLE_EQ(serial.min_accuracy, parallel.min_accuracy);
+    EXPECT_DOUBLE_EQ(serial.max_accuracy, parallel.max_accuracy);
+  }
+}
+
+TEST(Campaign, ParallelMatchesLegacySerialOverload) {
+  // The factory engine at threads > 1 must reproduce what the original
+  // single-injector entry point computes for the same seed.
+  auto net = small_net(3);
+  quant::ParamImage img(*net);
+  Injector inj(img);
+  CampaignConfig cfg;
+  cfg.bit_error_rate = 5e-4;
+  cfg.trials = 9;
+  cfg.seed = 77;
+  const auto probe = [&] {
+    double sum = 0.0;
+    for (auto& p : net->named_parameters()) {
+      for (const float v : p.var.value().span()) sum += v;
+    }
+    return sum;
+  };
+  const CampaignResult legacy = run_campaign(inj, probe, cfg);
+  cfg.threads = 4;
+  const CampaignResult parallel = run_campaign(make_replica_worker, cfg);
+  EXPECT_EQ(legacy.accuracies, parallel.accuracies);
+  EXPECT_EQ(legacy.flip_counts, parallel.flip_counts);
+}
+
+TEST(Campaign, SerialThrowRestoresCleanImage) {
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  img.restore();
+  std::vector<float> clean;
+  for (auto& p : net->named_parameters()) {
+    for (const float v : p.var.value().span()) clean.push_back(v);
+  }
+  Injector inj(img);
+  CampaignConfig cfg;
+  cfg.bit_error_rate = 1e-2;  // high rate: every trial flips something
+  cfg.trials = 5;
+  int evals = 0;
+  EXPECT_THROW(run_campaign(
+                   inj,
+                   [&]() -> double {
+                     if (++evals == 3) throw std::runtime_error("eval failed");
+                     return 0.5;
+                   },
+                   cfg),
+               std::runtime_error);
+  // The model must be back on the clean image despite the mid-trial throw.
+  std::size_t i = 0;
+  for (auto& p : net->named_parameters()) {
+    for (const float v : p.var.value().span()) {
+      EXPECT_EQ(v, clean[i++]);
+    }
+  }
+}
+
+TEST(Campaign, ParallelThrowPropagatesToCaller) {
+  CampaignConfig cfg;
+  cfg.bit_error_rate = 1e-2;
+  cfg.trials = 8;
+  cfg.threads = 4;
+  const auto throwing_factory = [](std::size_t lane) {
+    CampaignWorker w = make_replica_worker(lane);
+    w.evaluate = []() -> double {
+      throw std::runtime_error("lane eval failed");
+    };
+    return w;
+  };
+  // The exception must surface on the calling thread, not std::terminate a
+  // pool worker.
+  EXPECT_THROW(run_campaign(throwing_factory, cfg), std::runtime_error);
+}
+
+TEST(Campaign, MoreLanesThanTrials) {
+  CampaignConfig cfg;
+  cfg.bit_error_rate = 5e-4;
+  cfg.trials = 3;
+  cfg.seed = 5;
+  cfg.threads = 16;  // engine must clamp lanes to the trial count
+  const CampaignResult r = run_campaign(make_replica_worker, cfg);
+  EXPECT_EQ(r.accuracies.size(), 3u);
+  cfg.threads = 1;
+  const CampaignResult serial = run_campaign(make_replica_worker, cfg);
+  EXPECT_EQ(serial.accuracies, r.accuracies);
 }
 
 TEST(Campaign, ReproducibleWithSameSeed) {

@@ -28,7 +28,7 @@ TEST(Shape, EqualityAndString) {
 
 TEST(Shape, NegativeDimThrows) {
   EXPECT_THROW(Shape({-1, 2}), std::invalid_argument);
-  EXPECT_THROW(Shape({2}).dim(5), std::out_of_range);
+  EXPECT_THROW((void)Shape({2}).dim(5), std::out_of_range);
 }
 
 TEST(Shape, EmptyShapeNumelIsOne) {
@@ -69,13 +69,13 @@ TEST(Tensor, AtBoundsChecking) {
   Tensor a = Tensor::zeros(Shape{2, 3});
   a.at({1, 2}) = 7.0f;
   EXPECT_EQ(a[5], 7.0f);
-  EXPECT_THROW(a.at({2, 0}), std::out_of_range);
-  EXPECT_THROW(a.at({0}), std::invalid_argument);
+  EXPECT_THROW((void)a.at({2, 0}), std::out_of_range);
+  EXPECT_THROW((void)a.at({0}), std::invalid_argument);
 }
 
 TEST(Tensor, ItemRequiresSingleElement) {
   EXPECT_EQ(Tensor::scalar(2.5f).item(), 2.5f);
-  EXPECT_THROW(Tensor::zeros(Shape{2}).item(), std::logic_error);
+  EXPECT_THROW((void)Tensor::zeros(Shape{2}).item(), std::logic_error);
 }
 
 TEST(Tensor, RandnStatistics) {

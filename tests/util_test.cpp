@@ -254,6 +254,20 @@ TEST(Cli, FallbacksWhenAbsent) {
   EXPECT_EQ(cli.get("s", "dflt"), "dflt");
 }
 
+TEST(Cli, GetCountFallsBackOnInvalidValues) {
+  const char* argv[] = {"prog", "--threads", "-1", "--lanes", "4",
+                        "--bad",  "x2"};
+  Cli cli(7, const_cast<char**>(argv));
+  // Negative or non-numeric counts must fall back to the default (fail
+  // safe), not wrap through size_t or select the 0 = "auto / maximum"
+  // setting.
+  EXPECT_EQ(cli.get_count("threads", 1), 1u);
+  EXPECT_EQ(cli.get_count("bad", 1), 1u);
+  EXPECT_EQ(cli.get_count("lanes", 1), 4u);
+  EXPECT_EQ(cli.get_count("missing", 2), 2u);
+  EXPECT_EQ(cli.get_count("missing", -3), 0u);
+}
+
 TEST(Table, FormatsAlignedColumns) {
   TextTable t({"name", "value"});
   t.row({"alpha", "1.5"});
