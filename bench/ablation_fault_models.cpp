@@ -82,6 +82,9 @@ int main(int argc, char** argv) {
   ev::EvalConfig ec;
   ec.max_samples = scale.eval_samples;
 
+  // One session across all 20 (fault model, scheme) parameter-fault
+  // campaigns; protect_model re-syncs the cached lanes between cells.
+  ev::CampaignSession session(pm, scale);
   for (const auto& fc : cases) {
     std::vector<std::string> row{fc.label};
     for (const auto scheme : schemes) {
@@ -92,8 +95,7 @@ int main(int argc, char** argv) {
       cc.seed = 31337;
       cc.threads = scale.campaign_threads;
       cc.fault_model = fc.model;
-      const auto result =
-          fault::run_campaign(ev::make_campaign_worker_factory(pm, ec), cc);
+      const auto result = session.run(cc);
       row.push_back(ut::TextTable::percent(result.mean_accuracy));
       csv.row({fc.label, ev::paper_label(scheme),
                ut::CsvWriter::num(result.mean_accuracy)});

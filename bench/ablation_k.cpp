@@ -60,6 +60,9 @@ int main(int argc, char** argv) {
 
   ut::TextTable table(
       {"k", "max |FitReLU - Naive|", "clean acc", "acc under fault"});
+  // Replica lanes persist across the k sweep; pm.touch() flags the direct
+  // re-protection + post-training so the session re-syncs them.
+  ev::CampaignSession session(pm, scale);
   for (const float k : {1.0f, 2.0f, 5.0f, 10.0f, 25.0f, 50.0f}) {
     const double dev = max_deviation_from_naive(k, 2.0f);
 
@@ -70,8 +73,9 @@ int main(int argc, char** argv) {
     core::apply_protection(*pm.model, core::Scheme::fitrelu, opts);
     core::post_train_bounds(*pm.model, *pm.train, *pm.test,
                             pm.baseline_accuracy, scale.post);
+    pm.touch();  // model mutated outside protect_model
     const double clean = ev::clean_subset_accuracy(pm, scale);
-    const auto result = ev::campaign_at_rate(pm, rate, scale, 321);
+    const auto result = session.run(rate, 321);
 
     table.row({ut::TextTable::fixed(k, 0), ut::TextTable::fixed(dev, 4),
                ut::TextTable::percent(clean),

@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
 
   ut::TextTable table({"scheme", "clean acc", "acc@1e-5", "acc@1e-4",
                        "acc@3e-4", "param Mb", "bound params"});
+  // One lane set across the scheme x rate report; protect_model re-syncs it.
+  ev::CampaignSession session(pm, scale);
   for (const auto scheme :
        {core::Scheme::relu, core::Scheme::ranger, core::Scheme::clip_act,
         core::Scheme::fitrelu}) {
@@ -54,7 +56,7 @@ int main(int argc, char** argv) {
     row.push_back(ev::paper_label(scheme));
     row.push_back(ut::TextTable::percent(rep.clean_accuracy));
     for (const double rate : rates) {
-      const auto result = ev::campaign_at_rate(pm, rate, scale, 4242);
+      const auto result = session.run(rate, 4242);
       row.push_back(ut::TextTable::percent(result.mean_accuracy));
     }
     quant::ParamImage image(*pm.model);

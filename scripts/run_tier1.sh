@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verify, mirroring ROADMAP.md verbatim:
+#
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+#
+# CI runs this same script so local and CI invocations cannot drift.
+# Knobs (all optional, via environment):
+#   BUILD_DIR      build tree (default: build)
+#   CMAKE_ARGS     extra configure arguments (compiler launchers, build type,
+#                  -DFITACT_SANITIZE=address,undefined, ...)
+#   CTEST_TIMEOUT  per-test timeout in seconds (default: 300) so one hung
+#                  campaign test cannot stall a runner for hours
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+CTEST_TIMEOUT=${CTEST_TIMEOUT:-300}
+
+# shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
+cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR" && ctest --output-on-failure -j --timeout "$CTEST_TIMEOUT"

@@ -190,11 +190,19 @@ ProtectReport protect_model(PreparedModel& pm, core::Scheme scheme,
   EvalConfig ec;
   ec.max_samples = scale.test_size;
   report.clean_accuracy = evaluate_accuracy(*pm.model, *pm.test, ec);
+  // Profiling, scheme application, and post-training all changed the model:
+  // any live CampaignSession must re-sync its replicas.
+  pm.touch();
   return report;
 }
 
 std::shared_ptr<nn::Module> replicate_model(const PreparedModel& pm) {
-  auto replica = models::make_model(pm.model_name, pm.model_config);
+  // The replica's parameters are overwritten by copy_state immediately, so
+  // skip the random init in make_model (the replica stays pending-init for
+  // the instant between construction and the copy).
+  models::ModelConfig cfg = pm.model_config;
+  cfg.skip_init = true;
+  auto replica = models::make_model(pm.model_name, cfg);
   core::replicate_protection(*pm.model, *replica);
   nn::copy_state(*pm.model, *replica);
   replica->set_training(false);
@@ -222,22 +230,61 @@ fault::WorkerFactory make_campaign_worker_factory(PreparedModel& pm,
     w.evaluate = [ctx, test, ec] {
       return evaluate_accuracy(*ctx->model, *test, ec);
     };
+    w.sync = [ctx, &pm](bool source_changed) {
+      if (source_changed && ctx->model != pm.model) {
+        // Re-protection may have changed schemes, bound extents, or (after
+        // post-training) parameter values on the source; carry all of it
+        // over before re-snapshotting. Lane 0 wraps the source itself.
+        core::replicate_protection(*pm.model, *ctx->model);
+        nn::copy_state(*pm.model, *ctx->model);
+        ctx->model->set_training(false);
+      }
+      // refresh() re-walks the parameter tree, so replaced bound storage is
+      // picked up; the injector re-reads the image every trial and needs no
+      // rebuild.
+      ctx->image->refresh();
+    };
     return w;
   };
+}
+
+CampaignSession::CampaignSession(PreparedModel& pm,
+                                 const ExperimentScale& scale)
+    : pm_(&pm),
+      trials_(scale.trials),
+      threads_(scale.campaign_threads),
+      session_([&pm, &scale] {
+        EvalConfig ec;
+        ec.max_samples = scale.eval_samples;
+        return fault::CampaignSession(make_campaign_worker_factory(pm, ec));
+      }()),
+      synced_epoch_(pm.state_epoch) {}
+
+fault::CampaignResult CampaignSession::run(double bit_error_rate,
+                                           std::uint64_t seed) {
+  fault::CampaignConfig cc;
+  cc.bit_error_rate = bit_error_rate;
+  cc.trials = trials_;
+  cc.seed = seed;
+  cc.threads = threads_;
+  return run(cc);
+}
+
+fault::CampaignResult CampaignSession::run(
+    const fault::CampaignConfig& config) {
+  if (pm_->state_epoch != synced_epoch_) {
+    session_.invalidate();
+    synced_epoch_ = pm_->state_epoch;
+  }
+  return session_.run(config);
 }
 
 fault::CampaignResult campaign_at_rate(PreparedModel& pm,
                                        double bit_error_rate,
                                        const ExperimentScale& scale,
                                        std::uint64_t seed) {
-  EvalConfig ec;
-  ec.max_samples = scale.eval_samples;
-  fault::CampaignConfig cc;
-  cc.bit_error_rate = bit_error_rate;
-  cc.trials = scale.trials;
-  cc.seed = seed;
-  cc.threads = scale.campaign_threads;
-  return fault::run_campaign(make_campaign_worker_factory(pm, ec), cc);
+  CampaignSession session(pm, scale);
+  return session.run(bit_error_rate, seed);
 }
 
 double clean_subset_accuracy(PreparedModel& pm, const ExperimentScale& scale) {

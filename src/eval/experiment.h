@@ -72,6 +72,15 @@ struct PreparedModel {
   double train_time_s = 0.0;       ///< stage-1 wall time (0 on cache hit)
   bool from_cache = false;
   bool profiled = false;
+  /// Monotonic counter of model-state changes, used by CampaignSession to
+  /// decide when its cached replicas must re-sync from `model`.
+  /// protect_model bumps it automatically; code that mutates the model
+  /// directly (core::apply_protection, core::post_train_bounds, manual
+  /// parameter edits) must call touch() afterwards.
+  std::uint64_t state_epoch = 0;
+
+  /// Record that `model` changed outside protect_model, so sessions resync.
+  void touch() noexcept { ++state_epoch; }
 };
 
 /// Build (or load from `cache_dir`) a stage-1-trained model with plain ReLU
@@ -99,7 +108,9 @@ ProtectReport protect_model(PreparedModel& pm, core::Scheme scheme,
 
 /// Architecturally identical, value-identical copy of the prepared model in
 /// its current (possibly protected) state, in eval mode. Campaign worker
-/// lanes each get one so trials can run concurrently.
+/// lanes each get one so trials can run concurrently. Built with
+/// ModelConfig::skip_init (the random init would be overwritten by
+/// nn::copy_state anyway).
 [[nodiscard]] std::shared_ptr<nn::Module> replicate_model(
     const PreparedModel& pm);
 
@@ -110,8 +121,46 @@ ProtectReport protect_model(PreparedModel& pm, core::Scheme scheme,
 [[nodiscard]] fault::WorkerFactory make_campaign_worker_factory(
     PreparedModel& pm, const EvalConfig& ec);
 
+/// Persistent campaign engine over a prepared model: keeps the worker-lane
+/// replicas (models, parameter images, injectors) alive across an entire
+/// rate grid instead of rebuilding them for every rate. Replicas re-sync
+/// from `pm.model` (core::replicate_protection + nn::copy_state) only when
+/// `pm.state_epoch` moves — protect_model bumps it; call pm.touch() after
+/// mutating the model directly. Campaign results are byte-identical to
+/// fresh-replica campaign_at_rate calls at every thread count.
+///
+/// `pm` must outlive the session; `scale` fixes trials / eval samples /
+/// lanes for every run.
+class CampaignSession {
+ public:
+  CampaignSession(PreparedModel& pm, const ExperimentScale& scale);
+
+  /// Campaign at one bit-error rate (the campaign_at_rate contract).
+  [[nodiscard]] fault::CampaignResult run(double bit_error_rate,
+                                          std::uint64_t seed);
+
+  /// Full-control overload for drivers that set their own fault model.
+  /// `config.threads` is honoured as given.
+  [[nodiscard]] fault::CampaignResult run(const fault::CampaignConfig& config);
+
+  /// Replica lanes currently cached (0 before the first run).
+  [[nodiscard]] std::size_t lane_count() const noexcept {
+    return session_.lane_count();
+  }
+
+ private:
+  PreparedModel* pm_;
+  std::int64_t trials_;
+  std::size_t threads_;
+  fault::CampaignSession session_;
+  std::uint64_t synced_epoch_;
+};
+
 /// Run a fault campaign on the (already protected) model at one rate,
-/// fanned out over `scale.campaign_threads` worker lanes.
+/// fanned out over `scale.campaign_threads` worker lanes. One-shot: builds
+/// the worker lanes, runs, and tears them down. Sweeps over several rates
+/// should hold a CampaignSession instead, which caches the lanes across
+/// calls.
 [[nodiscard]] fault::CampaignResult campaign_at_rate(
     PreparedModel& pm, double bit_error_rate, const ExperimentScale& scale,
     std::uint64_t seed);

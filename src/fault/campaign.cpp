@@ -27,10 +27,32 @@ void aggregate(CampaignResult& result) {
   result.max_accuracy = hi;
 }
 
-CampaignResult run_campaign(const WorkerFactory& make_worker,
-                            const CampaignConfig& config) {
-  const std::size_t trials =
-      config.trials > 0 ? static_cast<std::size_t>(config.trials) : 0;
+namespace {
+
+/// Lane count for a run: resolve the 0 = auto setting, clamp to the trial
+/// count, and (for parallel runs) shrink to the number of contiguous chunks
+/// parallel_for will actually produce. This is a pure efficiency heuristic
+/// (don't build replicas no chunk will use); correctness relies only on
+/// parallel_for_slotted's slot < size() + 1 contract.
+std::size_t lane_count_for(const CampaignConfig& config, std::size_t trials) {
+  std::size_t lanes =
+      config.threads == 0 ? ut::default_thread_count() : config.threads;
+  lanes = std::min(lanes, trials);
+  if (lanes > 1) {
+    const std::size_t chunk = (trials + lanes - 1) / lanes;
+    lanes = (trials + chunk - 1) / chunk;
+  }
+  return std::max<std::size_t>(lanes, 1);
+}
+
+/// The trial loop shared by the one-shot entry points and CampaignSession:
+/// fan `trials` out over the first `lanes` entries of `workers`. Every
+/// worker must already be built (and synced); trial t always consumes
+/// stream t and writes slot t, so the result is bit-identical for any lane
+/// count.
+CampaignResult run_trials(std::vector<CampaignWorker>& workers,
+                          std::size_t lanes, const CampaignConfig& config,
+                          std::size_t trials) {
   CampaignResult result;
   result.accuracies.assign(trials, 0.0);
   result.flip_counts.assign(trials, 0);
@@ -63,28 +85,9 @@ CampaignResult run_campaign(const WorkerFactory& make_worker,
     }
   };
 
-  std::size_t lanes =
-      config.threads == 0 ? ut::default_thread_count() : config.threads;
-  lanes = std::min(lanes, trials);
-
   if (lanes <= 1) {
-    CampaignWorker worker = make_worker(0);
-    run_range(worker, 0, trials);
+    run_range(workers.at(0), 0, trials);
   } else {
-    // Pool sizing: parallel_for currently cuts the range into
-    // min(trials, size() + 1) contiguous chunks, so shrink the lane count
-    // to the number of chunks that will actually be nonempty. This is a
-    // pure efficiency heuristic (don't build replicas no chunk will use);
-    // correctness relies only on parallel_for_slotted's slot < size() + 1
-    // contract below.
-    const std::size_t chunk = (trials + lanes - 1) / lanes;
-    lanes = (trials + chunk - 1) / chunk;
-    // Every lane is built before the first trial runs: replica lanes
-    // typically clone the lane-0 model, which the campaign is about to
-    // corrupt, so construction must not overlap the trials.
-    std::vector<CampaignWorker> workers;
-    workers.reserve(lanes);
-    for (std::size_t i = 0; i < lanes; ++i) workers.push_back(make_worker(i));
     // The calling thread runs one chunk itself; each concurrently running
     // chunk checks out a distinct slot (< lanes), and a slot's worker is
     // reused when the chunking produces more chunks than lanes. A lane
@@ -94,7 +97,7 @@ CampaignResult run_campaign(const WorkerFactory& make_worker,
     pool.parallel_for_slotted(
         0, trials,
         [&](std::size_t slot, std::size_t begin, std::size_t end) {
-          if (slot >= workers.size()) {
+          if (slot >= lanes || slot >= workers.size()) {
             throw std::logic_error(
                 "run_campaign: slot id exceeds the lane count");
           }
@@ -103,6 +106,27 @@ CampaignResult run_campaign(const WorkerFactory& make_worker,
   }
   aggregate(result);
   return result;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const WorkerFactory& make_worker,
+                            const CampaignConfig& config) {
+  const std::size_t trials =
+      config.trials > 0 ? static_cast<std::size_t>(config.trials) : 0;
+  if (trials == 0) {
+    CampaignResult empty;
+    aggregate(empty);
+    return empty;
+  }
+  const std::size_t lanes = lane_count_for(config, trials);
+  // Every lane is built before the first trial runs: replica lanes
+  // typically clone the lane-0 model, which the campaign is about to
+  // corrupt, so construction must not overlap the trials.
+  std::vector<CampaignWorker> workers;
+  workers.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) workers.push_back(make_worker(i));
+  return run_trials(workers, lanes, config, trials);
 }
 
 CampaignResult run_campaign(Injector& injector,
@@ -118,6 +142,57 @@ CampaignResult run_campaign(Injector& injector,
         return w;
       },
       serial);
+}
+
+CampaignSession::CampaignSession(WorkerFactory make_worker)
+    : make_worker_(std::move(make_worker)) {
+  if (!make_worker_) {
+    throw std::invalid_argument("CampaignSession: null worker factory");
+  }
+}
+
+CampaignResult CampaignSession::run(const CampaignConfig& config) {
+  const std::size_t trials =
+      config.trials > 0 ? static_cast<std::size_t>(config.trials) : 0;
+  if (trials == 0) {
+    CampaignResult empty;
+    aggregate(empty);
+    return empty;
+  }
+  const std::size_t lanes = lane_count_for(config, trials);
+
+  if (stale_) {
+    // The source model changed: re-sync every cached lane (not only the
+    // ones this run uses — a lane skipped now must not carry stale bounds
+    // into a later, wider run). Lanes without a sync hook cannot be
+    // refreshed in place and are rebuilt from the factory.
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (workers_[i].sync) {
+        workers_[i].sync(/*source_changed=*/true);
+      } else {
+        workers_[i] = make_worker_(i);
+      }
+    }
+    stale_ = false;
+  } else if (!first_run_) {
+    // Reuse: re-snapshot each lane's clean image, mirroring the snapshot a
+    // freshly built worker would take of the restored (quantisation
+    // round-tripped) parameters. Keeps session results byte-identical to
+    // fresh-replica runs.
+    for (std::size_t i = 0; i < std::min(workers_.size(), lanes); ++i) {
+      if (workers_[i].sync) workers_[i].sync(/*source_changed=*/false);
+    }
+  }
+
+  // Grow the lane set if this run needs more lanes than any earlier one.
+  // New lanes clone the source as it stands now, exactly like a fresh run.
+  workers_.reserve(lanes);
+  for (std::size_t i = workers_.size(); i < lanes; ++i) {
+    workers_.push_back(make_worker_(i));
+  }
+
+  first_run_ = false;
+  return run_trials(workers_, lanes, config, trials);
 }
 
 }  // namespace fitact::fault

@@ -60,6 +60,18 @@ struct CampaignWorker {
   std::shared_ptr<void> keepalive;
   Injector* injector = nullptr;
   std::function<double()> evaluate;
+  /// Optional hook for CampaignSession reuse: bring the lane back in sync
+  /// with its source before a run. Called with `source_changed` = true when
+  /// the session was invalidated (the source model was re-protected or its
+  /// parameters changed) — the lane must re-copy protection + state from
+  /// the source and re-snapshot its clean image. Called with false on every
+  /// later reuse — the lane only re-snapshots its clean image from its own
+  /// model, which mirrors the image a freshly built worker would capture
+  /// (the lane's model holds the restored, quantisation-round-tripped
+  /// parameters after the previous run). Must leave `injector` valid.
+  /// Workers without the hook are rebuilt from the factory instead of
+  /// re-synced when the session is invalidated.
+  std::function<void(bool source_changed)> sync;
 };
 
 /// Builds the worker for one lane (0-based). Lane 0 may wrap the original
@@ -81,5 +93,42 @@ CampaignResult run_campaign(const WorkerFactory& make_worker,
 CampaignResult run_campaign(Injector& injector,
                             const std::function<double()>& evaluate,
                             const CampaignConfig& config);
+
+/// Persistent campaign engine for sweeps: owns the worker lanes (replica
+/// models, parameter images, injectors) across every run() of a rate grid
+/// instead of rebuilding them per rate, which removes replica construction
+/// from the per-rate cost. Results are bit-identical to calling
+/// run_campaign with the same factory and config at every thread count:
+/// the trial-stream and slot contracts are unchanged, and before each reuse
+/// a lane re-snapshots its clean image exactly as a fresh worker would.
+///
+/// Call invalidate() whenever the source model the factory replicates from
+/// changes (re-protection, post-training): the next run() re-syncs every
+/// cached lane through its CampaignWorker::sync hook (lanes without the
+/// hook are rebuilt from the factory). Not thread-safe; drive one session
+/// from one thread.
+class CampaignSession {
+ public:
+  explicit CampaignSession(WorkerFactory make_worker);
+
+  /// Run one campaign over the cached lanes, growing the lane set if this
+  /// config needs more than any earlier run.
+  CampaignResult run(const CampaignConfig& config);
+
+  /// Mark the cached lanes stale; the next run() re-syncs them from the
+  /// source before injecting.
+  void invalidate() noexcept { stale_ = true; }
+
+  /// Lanes currently cached (0 before the first run).
+  [[nodiscard]] std::size_t lane_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  WorkerFactory make_worker_;
+  std::vector<CampaignWorker> workers_;
+  bool first_run_ = true;
+  bool stale_ = false;
+};
 
 }  // namespace fitact::fault

@@ -26,6 +26,12 @@ struct ModelConfig {
   bool alexnet_dropout = false;
   /// Weight-initialisation seed.
   std::uint64_t seed = 42;
+  /// Allocate parameters without the random init (nn::InitMode::deferred).
+  /// For replicas whose state is immediately overwritten by nn::copy_state —
+  /// e.g. campaign worker lanes — the Kaiming draws in make_model are pure
+  /// waste. A skip-init model must not be evaluated before copy_state /
+  /// load_state fills it (debug builds assert).
+  bool skip_init = false;
 };
 
 /// Scaled channel count: round(c * width_mult), floored at 4.

@@ -19,21 +19,26 @@ std::int64_t scaled(std::int64_t channels, float width_mult) {
 
 std::shared_ptr<nn::Module> make_tinycnn(const ModelConfig& config) {
   ut::Rng rng(config.seed);
+  const nn::InitMode init =
+      config.skip_init ? nn::InitMode::deferred : nn::InitMode::random;
   const auto w = [&](std::int64_t c) { return scaled(c, config.width_mult); };
   const auto act = [&] {
     return std::make_shared<core::BoundedActivation>(config.activation);
   };
   auto net = std::make_shared<nn::Sequential>();
-  net->add(std::make_shared<nn::Conv2d>(3, w(16), 3, 1, 1, true, rng));
+  net->add(std::make_shared<nn::Conv2d>(3, w(16), 3, 1, 1, true, rng, init));
   net->add(act());
   net->add(std::make_shared<nn::MaxPool2d>(2));  // 32 -> 16
-  net->add(std::make_shared<nn::Conv2d>(w(16), w(32), 3, 1, 1, true, rng));
+  net->add(std::make_shared<nn::Conv2d>(w(16), w(32), 3, 1, 1, true, rng,
+                                        init));
   net->add(act());
   net->add(std::make_shared<nn::MaxPool2d>(4));  // 16 -> 4
   net->add(std::make_shared<nn::Flatten>());
-  net->add(std::make_shared<nn::Linear>(w(32) * 4 * 4, w(64), true, rng));
+  net->add(std::make_shared<nn::Linear>(w(32) * 4 * 4, w(64), true, rng,
+                                        init));
   net->add(act());
-  net->add(std::make_shared<nn::Linear>(w(64), config.num_classes, true, rng));
+  net->add(std::make_shared<nn::Linear>(w(64), config.num_classes, true, rng,
+                                        init));
   return net;
 }
 

@@ -14,25 +14,27 @@ class Bottleneck final : public nn::Module {
  public:
   Bottleneck(std::int64_t in_c, std::int64_t mid_c, std::int64_t out_c,
              std::int64_t stride, const core::ActivationConfig& act_cfg,
-             ut::Rng& rng) {
+             ut::Rng& rng, nn::InitMode init) {
     conv1_ = register_module(
-        "conv1", std::make_shared<nn::Conv2d>(in_c, mid_c, 1, 1, 0, false, rng));
+        "conv1",
+        std::make_shared<nn::Conv2d>(in_c, mid_c, 1, 1, 0, false, rng, init));
     bn1_ = register_module("bn1", std::make_shared<nn::BatchNorm2d>(mid_c));
     act1_ = register_module("act1",
                             std::make_shared<core::BoundedActivation>(act_cfg));
     conv2_ = register_module(
-        "conv2",
-        std::make_shared<nn::Conv2d>(mid_c, mid_c, 3, stride, 1, false, rng));
+        "conv2", std::make_shared<nn::Conv2d>(mid_c, mid_c, 3, stride, 1,
+                                              false, rng, init));
     bn2_ = register_module("bn2", std::make_shared<nn::BatchNorm2d>(mid_c));
     act2_ = register_module("act2",
                             std::make_shared<core::BoundedActivation>(act_cfg));
     conv3_ = register_module(
-        "conv3", std::make_shared<nn::Conv2d>(mid_c, out_c, 1, 1, 0, false, rng));
+        "conv3",
+        std::make_shared<nn::Conv2d>(mid_c, out_c, 1, 1, 0, false, rng, init));
     bn3_ = register_module("bn3", std::make_shared<nn::BatchNorm2d>(out_c));
     if (stride != 1 || in_c != out_c) {
       proj_conv_ = register_module(
-          "proj_conv",
-          std::make_shared<nn::Conv2d>(in_c, out_c, 1, stride, 0, false, rng));
+          "proj_conv", std::make_shared<nn::Conv2d>(in_c, out_c, 1, stride, 0,
+                                                    false, rng, init));
       proj_bn_ = register_module("proj_bn",
                                  std::make_shared<nn::BatchNorm2d>(out_c));
     }
@@ -61,11 +63,13 @@ class Bottleneck final : public nn::Module {
 
 std::shared_ptr<nn::Module> make_resnet50(const ModelConfig& config) {
   ut::Rng rng(config.seed);
+  const nn::InitMode init =
+      config.skip_init ? nn::InitMode::deferred : nn::InitMode::random;
   const auto w = [&](std::int64_t c) { return scaled(c, config.width_mult); };
 
   auto net = std::make_shared<nn::Sequential>();
   // Stem.
-  net->add(std::make_shared<nn::Conv2d>(3, w(64), 3, 1, 1, false, rng));
+  net->add(std::make_shared<nn::Conv2d>(3, w(64), 3, 1, 1, false, rng, init));
   net->add(std::make_shared<nn::BatchNorm2d>(w(64)));
   net->add(std::make_shared<core::BoundedActivation>(config.activation));
 
@@ -86,12 +90,13 @@ std::shared_ptr<nn::Module> make_resnet50(const ModelConfig& config) {
     for (std::int64_t b = 0; b < st.blocks; ++b) {
       const std::int64_t stride = (b == 0) ? st.stride : 1;
       net->add(std::make_shared<Bottleneck>(in_c, st.mid, st.out, stride,
-                                            config.activation, rng));
+                                            config.activation, rng, init));
       in_c = st.out;
     }
   }
   net->add(std::make_shared<nn::GlobalAvgPool>());
-  net->add(std::make_shared<nn::Linear>(in_c, config.num_classes, true, rng));
+  net->add(std::make_shared<nn::Linear>(in_c, config.num_classes, true, rng,
+                                        init));
   return net;
 }
 

@@ -8,6 +8,8 @@ namespace fitact::models {
 
 std::shared_ptr<nn::Module> make_vgg16(const ModelConfig& config) {
   ut::Rng rng(config.seed);
+  const nn::InitMode init =
+      config.skip_init ? nn::InitMode::deferred : nn::InitMode::random;
   const auto w = [&](std::int64_t c) { return scaled(c, config.width_mult); };
   const auto act = [&] {
     return std::make_shared<core::BoundedActivation>(config.activation);
@@ -28,7 +30,7 @@ std::shared_ptr<nn::Module> make_vgg16(const ModelConfig& config) {
     const std::int64_t out_c = w(entry);
     net->add(std::make_shared<nn::Conv2d>(in_c, out_c, 3, 1, 1,
                                           /*bias=*/!config.vgg_batchnorm,
-                                          rng));
+                                          rng, init));
     if (config.vgg_batchnorm) {
       net->add(std::make_shared<nn::BatchNorm2d>(out_c));
     }
@@ -36,9 +38,10 @@ std::shared_ptr<nn::Module> make_vgg16(const ModelConfig& config) {
     in_c = out_c;
   }
   net->add(std::make_shared<nn::Flatten>());  // [B, w(512)] after 5 pools
-  net->add(std::make_shared<nn::Linear>(w(512), w(512), true, rng));
+  net->add(std::make_shared<nn::Linear>(w(512), w(512), true, rng, init));
   net->add(act());
-  net->add(std::make_shared<nn::Linear>(w(512), config.num_classes, true, rng));
+  net->add(std::make_shared<nn::Linear>(w(512), config.num_classes, true, rng,
+                                        init));
   return net;
 }
 

@@ -7,10 +7,14 @@ namespace fitact::nn {
 
 Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
                std::int64_t kernel, std::int64_t stride, std::int64_t padding,
-               bool bias, ut::Rng& rng)
+               bool bias, ut::Rng& rng, InitMode init)
     : out_c_(out_channels), stride_(stride), padding_(padding) {
   Tensor w(Shape{out_channels, in_channels, kernel, kernel});
-  kaiming_normal(w, in_channels * kernel * kernel, rng);
+  if (init == InitMode::random) {
+    kaiming_normal(w, in_channels * kernel * kernel, rng);
+  } else {
+    mark_pending_init();
+  }
   weight_ = register_parameter("weight", Variable(std::move(w), true));
   if (bias) {
     bias_ = register_parameter("bias",
@@ -20,13 +24,18 @@ Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
 }
 
 Variable Conv2d::forward(const Variable& x) {
+  assert_initialized();
   return ag::conv2d(x, weight_, bias_, stride_, padding_);
 }
 
 Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
-               ut::Rng& rng) {
+               ut::Rng& rng, InitMode init) {
   Tensor w(Shape{out_features, in_features});
-  kaiming_uniform(w, in_features, rng);
+  if (init == InitMode::random) {
+    kaiming_uniform(w, in_features, rng);
+  } else {
+    mark_pending_init();
+  }
   weight_ = register_parameter("weight", Variable(std::move(w), true));
   if (bias) {
     bias_ = register_parameter(
@@ -35,6 +44,7 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
 }
 
 Variable Linear::forward(const Variable& x) {
+  assert_initialized();
   return ag::linear(x, weight_, bias_);
 }
 

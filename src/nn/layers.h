@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "nn/init.h"
 #include "nn/module.h"
 #include "util/rng.h"
 
@@ -12,9 +13,11 @@ namespace fitact::nn {
 
 class Conv2d final : public Module {
  public:
+  /// InitMode::deferred allocates the weight without the Kaiming fill (for
+  /// replicas whose state is copied in right after construction).
   Conv2d(std::int64_t in_channels, std::int64_t out_channels,
          std::int64_t kernel, std::int64_t stride, std::int64_t padding,
-         bool bias, ut::Rng& rng);
+         bool bias, ut::Rng& rng, InitMode init = InitMode::random);
 
   Variable forward(const Variable& x) override;
 
@@ -30,8 +33,10 @@ class Conv2d final : public Module {
 
 class Linear final : public Module {
  public:
+  /// InitMode::deferred allocates the weight without the Kaiming fill (for
+  /// replicas whose state is copied in right after construction).
   Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
-         ut::Rng& rng);
+         ut::Rng& rng, InitMode init = InitMode::random);
 
   Variable forward(const Variable& x) override;
 

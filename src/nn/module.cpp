@@ -1,11 +1,32 @@
 #include "nn/module.h"
 
+#include <cassert>
+
 namespace fitact::nn {
 
 void Module::set_training(bool training) {
   training_ = training;
   on_set_training(training);
   for (auto& [name, child] : children_) child->set_training(training);
+}
+
+bool Module::subtree_pending_init() const noexcept {
+  if (pending_init_) return true;
+  for (const auto& [name, child] : children_) {
+    if (child->subtree_pending_init()) return true;
+  }
+  return false;
+}
+
+void Module::clear_pending_init() noexcept {
+  pending_init_ = false;
+  for (auto& [name, child] : children_) child->clear_pending_init();
+}
+
+void Module::assert_initialized() const noexcept {
+  assert(!pending_init_ &&
+         "layer built with InitMode::deferred evaluated before "
+         "copy_state/load_state installed its parameters");
 }
 
 std::vector<NamedParam> Module::named_parameters() const {

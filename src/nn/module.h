@@ -39,6 +39,21 @@ class Module {
   void set_training(bool training);
   [[nodiscard]] bool is_training() const noexcept { return training_; }
 
+  /// True when this module (not its children) was built with
+  /// InitMode::deferred and its parameters have not been overwritten since:
+  /// forwarding it would compute on uninitialised memory. Cleared by
+  /// clear_pending_init(), which copy_state/load_state call after filling
+  /// the tree.
+  [[nodiscard]] bool pending_init() const noexcept { return pending_init_; }
+
+  /// Whether any module in the subtree is still pending-init.
+  [[nodiscard]] bool subtree_pending_init() const noexcept;
+
+  /// Mark the whole subtree as initialised (parameters now hold real
+  /// values). Called by copy_state/load_state; also callable directly by
+  /// code that fills parameters through other means.
+  void clear_pending_init() noexcept;
+
   /// All parameters in the subtree, with dotted path names.
   [[nodiscard]] std::vector<NamedParam> named_parameters() const;
   [[nodiscard]] std::vector<Variable> parameters() const;
@@ -84,6 +99,15 @@ class Module {
   /// Hook for subclasses that need to react to mode changes.
   virtual void on_set_training(bool /*training*/) {}
 
+  /// Called by layer constructors that honoured InitMode::deferred and left
+  /// their parameters unfilled.
+  void mark_pending_init() noexcept { pending_init_ = true; }
+
+  /// Debug-build guard for forward paths of layers that support deferred
+  /// init: trips when the layer is evaluated before copy_state/load_state
+  /// installed real parameter values. Compiles to nothing under NDEBUG.
+  void assert_initialized() const noexcept;
+
  private:
   void collect_parameters(const std::string& prefix,
                           std::vector<NamedParam>& out) const;
@@ -91,6 +115,7 @@ class Module {
                        std::vector<NamedBuffer>& out) const;
 
   bool training_ = true;
+  bool pending_init_ = false;
   std::vector<std::pair<std::string, Variable>> params_;
   std::vector<std::pair<std::string, Tensor>> buffers_;
   std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;

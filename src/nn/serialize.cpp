@@ -111,6 +111,7 @@ bool load_state(Module& m, const std::string& path) {
       throw std::runtime_error("load_state: truncated file " + path);
     }
   }
+  m.clear_pending_init();
   return true;
 }
 
@@ -126,6 +127,9 @@ void copy_state(const Module& src, Module& dst) {
         "copy_state: destination has entries the source lacks (" +
         std::to_string(targets.size()) + " vs " + std::to_string(copied) + ")");
   }
+  // Every destination entry now holds real values; deferred-init layers
+  // (InitMode::deferred replicas) are safe to evaluate.
+  dst.clear_pending_init();
 }
 
 }  // namespace fitact::nn

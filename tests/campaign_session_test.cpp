@@ -1,0 +1,242 @@
+// Tests for the campaign session layer (cached worker-lane replicas across
+// a rate grid) and the init-skipping model construction path replicas use.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/activation.h"
+#include "core/protection.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "fault/campaign.h"
+#include "models/registry.h"
+#include "nn/serialize.h"
+#include "quant/param_image.h"
+#include "tensor/tensor.h"
+
+namespace fitact::ev {
+namespace {
+
+ExperimentScale tiny_scale() {
+  ExperimentScale scale = ExperimentScale::scaled();
+  scale.train_size = 96;
+  scale.test_size = 48;
+  scale.train_epochs = 2;
+  scale.eval_samples = 24;
+  scale.trials = 6;
+  scale.post.epochs = 1;
+  scale.post.max_batches_per_epoch = 3;
+  return scale;
+}
+
+void expect_equal_results(const fault::CampaignResult& a,
+                          const fault::CampaignResult& b,
+                          const std::string& context) {
+  EXPECT_EQ(a.accuracies, b.accuracies) << context;
+  EXPECT_EQ(a.flip_counts, b.flip_counts) << context;
+  EXPECT_DOUBLE_EQ(a.mean_accuracy, b.mean_accuracy) << context;
+  EXPECT_DOUBLE_EQ(a.min_accuracy, b.min_accuracy) << context;
+  EXPECT_DOUBLE_EQ(a.max_accuracy, b.max_accuracy) << context;
+}
+
+// The satellite contract: cached replicas across a >= 3-point rate grid are
+// byte-identical to fresh-replica runs at threads = 1/2/8, including after
+// an intervening protect_model re-protection (stale-bounds regression).
+TEST(CampaignSession, GridMatchesFreshRunsAcrossThreadCounts) {
+  const std::vector<double> rate_grid = {1e-6, 1e-5, 1e-4};
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    // Two identically prepared models: one swept through a session with
+    // cached replicas, one through fresh-replica one-shot campaigns.
+    ExperimentScale scale = tiny_scale();
+    scale.campaign_threads = threads;
+    PreparedModel cached = prepare_model("tinycnn", 10, scale, "", 29);
+    PreparedModel fresh = prepare_model("tinycnn", 10, scale, "", 29);
+
+    (void)protect_model(cached, core::Scheme::clip_act, scale);
+    (void)protect_model(fresh, core::Scheme::clip_act, scale);
+
+    CampaignSession session(cached, scale);
+    for (const double rate : rate_grid) {
+      expect_equal_results(
+          session.run(rate, 51), campaign_at_rate(fresh, rate, scale, 51),
+          "rate " + std::to_string(rate) + " threads " +
+              std::to_string(threads));
+    }
+    EXPECT_EQ(session.lane_count(),
+              std::min<std::size_t>(threads, scale.trials));
+
+    // Re-protect with a different scheme (per-neuron bounds, post-training
+    // mutates them): the session's cached lanes must pick up the new
+    // bounds, not inject into stale clip-act replicas.
+    (void)protect_model(cached, core::Scheme::fitrelu, scale);
+    (void)protect_model(fresh, core::Scheme::fitrelu, scale);
+    for (const double rate : rate_grid) {
+      expect_equal_results(
+          session.run(rate, 52), campaign_at_rate(fresh, rate, scale, 52),
+          "post-reprotect rate " + std::to_string(rate) + " threads " +
+              std::to_string(threads));
+    }
+  }
+}
+
+TEST(CampaignSession, TouchForcesResyncAfterDirectMutation) {
+  ExperimentScale scale = tiny_scale();
+  scale.campaign_threads = 2;
+  PreparedModel cached = prepare_model("tinycnn", 10, scale, "", 37);
+  PreparedModel fresh = prepare_model("tinycnn", 10, scale, "", 37);
+  (void)protect_model(cached, core::Scheme::clip_act, scale);
+  (void)protect_model(fresh, core::Scheme::clip_act, scale);
+
+  CampaignSession session(cached, scale);
+  expect_equal_results(session.run(1e-5, 61),
+                       campaign_at_rate(fresh, 1e-5, scale, 61), "warm-up");
+
+  // Mutate both models identically outside protect_model (what the
+  // granularity/k ablations do); pm.touch() must trigger the re-sync.
+  core::ProtectionOptions opts;
+  opts.granularity = core::Granularity::per_layer;
+  core::apply_protection(*cached.model, core::Scheme::ranger, opts);
+  cached.touch();
+  core::apply_protection(*fresh.model, core::Scheme::ranger, opts);
+  fresh.touch();
+
+  expect_equal_results(session.run(1e-5, 62),
+                       campaign_at_rate(fresh, 1e-5, scale, 62),
+                       "post-touch");
+}
+
+TEST(CampaignSession, FaultLevelSessionMatchesOneShotEngine) {
+  // Pure fault-layer check, no eval stack: a session over synthetic workers
+  // must reproduce run_campaign for every run of a multi-rate sweep.
+  struct Lane {
+    std::shared_ptr<nn::Module> net;
+    std::unique_ptr<quant::ParamImage> image;
+    std::unique_ptr<fault::Injector> injector;
+  };
+  const auto make_worker = [](std::size_t) {
+    models::ModelConfig mc;
+    mc.width_mult = 0.25f;
+    mc.seed = 3;
+    auto ctx = std::make_shared<Lane>();
+    ctx->net = models::make_tinycnn(mc);
+    ctx->image = std::make_unique<quant::ParamImage>(*ctx->net);
+    ctx->injector = std::make_unique<fault::Injector>(*ctx->image);
+    fault::CampaignWorker w;
+    w.keepalive = ctx;
+    w.injector = ctx->injector.get();
+    w.evaluate = [ctx] {
+      double sum = 0.0;
+      for (auto& p : ctx->net->named_parameters()) {
+        for (const float v : p.var.value().span()) sum += v;
+      }
+      return sum;
+    };
+    w.sync = [ctx](bool) { ctx->image->refresh(); };
+    return w;
+  };
+
+  fault::CampaignConfig cfg;
+  cfg.trials = 8;
+  cfg.seed = 404;
+  cfg.threads = 4;
+  fault::CampaignSession session(make_worker);
+  for (const double rate : {1e-4, 5e-4, 1e-3}) {
+    cfg.bit_error_rate = rate;
+    expect_equal_results(session.run(cfg), fault::run_campaign(make_worker, cfg),
+                         "rate " + std::to_string(rate));
+  }
+  EXPECT_EQ(session.lane_count(), 4u);
+
+  // A wider later run grows the lane set.
+  cfg.threads = 8;
+  cfg.bit_error_rate = 2e-3;
+  expect_equal_results(session.run(cfg), fault::run_campaign(make_worker, cfg),
+                       "lane growth");
+  EXPECT_EQ(session.lane_count(), 8u);
+}
+
+// --- init-skipping construction path ------------------------------------
+
+TEST(SkipInit, PendingUntilCopyStateThenIdentical) {
+  models::ModelConfig cfg;
+  cfg.width_mult = 0.25f;
+  cfg.seed = 7;
+  const auto src = models::make_model("tinycnn", cfg);
+  EXPECT_FALSE(src->subtree_pending_init());
+
+  models::ModelConfig skip = cfg;
+  skip.skip_init = true;
+  const auto replica = models::make_model("tinycnn", skip);
+  EXPECT_TRUE(replica->subtree_pending_init());
+
+  nn::copy_state(*src, *replica);
+  EXPECT_FALSE(replica->subtree_pending_init());
+
+  // Value-identical to the source after the copy.
+  const auto sp = src->named_parameters();
+  const auto rp = replica->named_parameters();
+  ASSERT_EQ(sp.size(), rp.size());
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    EXPECT_EQ(sp[i].name, rp[i].name);
+    for (std::int64_t j = 0; j < sp[i].var.numel(); ++j) {
+      EXPECT_EQ(sp[i].var.value()[j], rp[i].var.value()[j]);
+    }
+  }
+}
+
+TEST(SkipInit, EveryRegisteredModelSupportsIt) {
+  for (const auto& name : models::model_names()) {
+    models::ModelConfig cfg;
+    cfg.width_mult = 0.125f;
+    cfg.skip_init = true;
+    const auto m = models::make_model(name, cfg);
+    EXPECT_TRUE(m->subtree_pending_init()) << name;
+    // Same architecture as the initialised build.
+    models::ModelConfig full = cfg;
+    full.skip_init = false;
+    EXPECT_EQ(m->parameter_count(),
+              models::make_model(name, full)->parameter_count())
+        << name;
+  }
+}
+
+TEST(SkipInit, ReplicateModelStillEvaluatesIdentically) {
+  // replicate_model now uses the skip-init path; the replica must still be
+  // value-identical (covers the "callers that do need init are unaffected"
+  // check from the other side: the only skip-init user copies state in).
+  ExperimentScale scale = tiny_scale();
+  PreparedModel pm = prepare_model("tinycnn", 10, scale, "", 41);
+  (void)protect_model(pm, core::Scheme::fitrelu, scale);
+  const auto replica = replicate_model(pm);
+  EXPECT_FALSE(replica->subtree_pending_init());
+  EvalConfig ec;
+  ec.max_samples = scale.eval_samples;
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(*pm.model, *pm.test, ec),
+                   evaluate_accuracy(*replica, *pm.test, ec));
+}
+
+#ifndef NDEBUG
+using SkipInitDeathTest = ::testing::Test;
+
+TEST(SkipInitDeathTest, EvaluatingBeforeCopyStateAsserts) {
+  // Debug builds must refuse to forward a pending-init model: its weights
+  // are uninitialised memory.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  models::ModelConfig cfg;
+  cfg.width_mult = 0.25f;
+  cfg.skip_init = true;
+  EXPECT_DEATH(
+      {
+        const auto m = models::make_model("tinycnn", cfg);
+        m->set_training(false);
+        Variable x(Tensor::zeros(Shape{1, 3, 32, 32}), false);
+        (void)m->forward(x);
+      },
+      "deferred");
+}
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace fitact::ev

@@ -9,6 +9,7 @@
 #include "fault/campaign.h"
 #include "fault/injector.h"
 #include "nn/layers.h"
+#include "nn/serialize.h"
 #include "quant/fixed_point.h"
 #include "util/rng.h"
 
@@ -326,6 +327,57 @@ TEST(Campaign, MoreLanesThanTrials) {
   cfg.threads = 1;
   const CampaignResult serial = run_campaign(make_replica_worker, cfg);
   EXPECT_EQ(serial.accuracies, r.accuracies);
+}
+
+TEST(Campaign, SessionWithoutSyncHookRebuildsOnInvalidate) {
+  // Lanes clone a shared source at build time and carry no sync hook: an
+  // invalidated session must rebuild them through the factory. A stale lane
+  // would keep evaluating the pre-mutation parameter values, so reuse
+  // instead of rebuild shows up as a result difference.
+  const auto source = small_net(3);
+  const auto make_source_clone_worker = [&source](std::size_t) {
+    struct Lane {
+      std::shared_ptr<nn::Sequential> net;
+      std::unique_ptr<quant::ParamImage> image;
+      std::unique_ptr<Injector> injector;
+    };
+    auto ctx = std::make_shared<Lane>();
+    ctx->net = small_net(3);
+    nn::copy_state(*source, *ctx->net);
+    ctx->image = std::make_unique<quant::ParamImage>(*ctx->net);
+    ctx->injector = std::make_unique<Injector>(*ctx->image);
+    CampaignWorker w;
+    w.keepalive = ctx;
+    w.injector = ctx->injector.get();
+    w.evaluate = [ctx] {
+      double sum = 0.0;
+      for (auto& p : ctx->net->named_parameters()) {
+        for (const float v : p.var.value().span()) sum += v;
+      }
+      return sum;
+    };
+    return w;
+  };
+
+  CampaignConfig cfg;
+  cfg.bit_error_rate = 5e-4;
+  cfg.trials = 12;
+  cfg.seed = 2024;
+  cfg.threads = 4;
+  CampaignSession session(make_source_clone_worker);
+  const CampaignResult first = session.run(cfg);
+  EXPECT_EQ(run_campaign(make_source_clone_worker, cfg).accuracies,
+            first.accuracies);
+
+  source->named_parameters()[0].var.value()[0] += 1.0f;
+  session.invalidate();
+  const CampaignResult rebuilt = session.run(cfg);
+  const CampaignResult fresh = run_campaign(make_source_clone_worker, cfg);
+  EXPECT_EQ(fresh.accuracies, rebuilt.accuracies);
+  EXPECT_EQ(fresh.flip_counts, rebuilt.flip_counts);
+  // The mutation must be visible in the results, or the rebuild check
+  // above would pass vacuously on stale lanes.
+  EXPECT_NE(first.accuracies, rebuilt.accuracies);
 }
 
 TEST(Campaign, ReproducibleWithSameSeed) {
