@@ -1,0 +1,313 @@
+// Serving benchmark: throughput and latency of the resilient inference
+// server, the micro-batching speedup over single-request serving, and
+// detection coverage under live bit-flip injection.
+//
+// Three phases:
+//   1. direct   — raw model->forward one sample at a time (no server), the
+//                 floor a serving layer must not sink below;
+//   2. single   — the server at max_batch 1, synchronous round-trips
+//                 (single-request serving);
+//   3. batched  — the server at the configured batch size and lane count,
+//                 all requests in flight at once (micro-batched serving).
+// The headline number is batched/single throughput — what micro-batching
+// buys. A fourth phase replays the batched load while periodically
+// corrupting a lane's live parameters (deterministic bit flips at a high
+// integer bit) and reports detection coverage: how many injections the
+// clamp-rate detector caught, and how many requests were answered with
+// outputs that differ from the clean model's.
+//
+// Usage: serve_throughput [--model tinycnn] [--classes 10] [--width 1.0]
+//          [--requests 256] [--batch 8] [--lanes 0] [--window-us 200]
+//          [--train-size 96] [--epochs 2] [--scheme clip_act]
+//          [--inject-every 8] [--flips 24] [--bit 28]
+//          [--min-speedup 0] [--csv serve_throughput.csv]
+// --min-speedup S exits non-zero when the micro-batching speedup lands
+// below S (CI gate; 0 disables).
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "eval/experiment.h"
+#include "eval/serving.h"
+#include "fault/injector.h"
+#include "serve/server.h"
+#include "tensor/tensor_ops.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+struct PhaseReport {
+  double wall_ms = 0.0;
+  double req_per_s = 0.0;
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+};
+
+PhaseReport summarize(double wall_ms, std::vector<double> latencies) {
+  PhaseReport r;
+  r.wall_ms = wall_ms;
+  const auto n = static_cast<double>(latencies.size());
+  if (latencies.empty()) return r;
+  r.req_per_s = n / (wall_ms / 1000.0);
+  double sum = 0.0;
+  for (const double l : latencies) sum += l;
+  r.mean_latency_ms = sum / n;
+  std::sort(latencies.begin(), latencies.end());
+  r.p95_latency_ms =
+      latencies[static_cast<std::size_t>(0.95 * (latencies.size() - 1))];
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fitact;
+  const ut::Cli cli(argc, argv);
+  const std::string model_name = cli.get("model", "tinycnn");
+  const std::int64_t classes = cli.get_int("classes", 10);
+  const std::int64_t requests = cli.get_int("requests", 256);
+  const std::int64_t batch = cli.get_int("batch", 8);
+  // 0 = one lane per hardware thread (the campaign engine's convention):
+  // micro-batching's throughput win comes from keeping every core busy
+  // with whole batches, so the default saturates the host.
+  std::size_t lanes = cli.get_count("lanes", 0);
+  if (lanes == 0) lanes = ut::default_thread_count();
+  const std::int64_t window_us = cli.get_int("window-us", 200);
+  const std::int64_t inject_every = cli.get_int("inject-every", 8);
+  const std::uint64_t flips = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(cli.get_int("flips", 24), 1));
+  const int bit = static_cast<int>(cli.get_int("bit", 28));
+  const double min_speedup = cli.get_double("min-speedup", 0.0);
+  const std::string scheme_name = cli.get("scheme", "clip_act");
+  ut::set_log_level(ut::LogLevel::warn);
+
+  ev::ExperimentScale scale = ev::ExperimentScale::scaled();
+  scale.train_size = cli.get_int("train-size", 96);
+  scale.test_size = std::max<std::int64_t>(64, scale.train_size / 2);
+  scale.train_epochs = cli.get_int("epochs", 2);
+  if (cli.has("width")) {
+    const auto width = static_cast<float>(cli.get_double("width", 1.0));
+    scale.width_alexnet = width;
+    scale.width_vgg16 = width;
+    scale.width_resnet50 = width;
+  }
+
+  const core::Scheme scheme = [&] {
+    for (const auto s : {core::Scheme::clip_act, core::Scheme::ranger,
+                         core::Scheme::fitrelu_naive, core::Scheme::fitrelu,
+                         core::Scheme::relu}) {
+      if (core::to_string(s) == scheme_name) return s;
+    }
+    std::fprintf(stderr, "unknown --scheme %s\n", scheme_name.c_str());
+    std::exit(2);
+    return core::Scheme::relu;  // unreachable
+  }();
+
+  ev::PreparedModel pm =
+      ev::prepare_model(model_name, classes, scale, "fitact_cache");
+  (void)ev::protect_model(pm, scheme, scale);
+
+  // Request pool: cycle the test split.
+  const std::int64_t pool = std::min<std::int64_t>(pm.test->size(), requests);
+  std::vector<Tensor> samples;
+  samples.reserve(static_cast<std::size_t>(requests));
+  std::vector<std::int64_t> labels;
+  for (std::int64_t i = 0; i < requests; ++i) {
+    samples.push_back(pm.test->batch(i % pool, 1, &labels));
+  }
+
+  ev::ServeOptions base;
+  base.server.lanes = lanes;
+  base.server.max_batch = batch;
+  base.server.batch_window = std::chrono::microseconds(window_us);
+
+  std::printf("Resilient serving throughput: %s (%lld params), %lld requests\n"
+              "batch %lld, %zu lanes, %lld us window, scheme %s\n\n",
+              model_name.c_str(),
+              static_cast<long long>(pm.model->parameter_count()),
+              static_cast<long long>(requests), static_cast<long long>(batch),
+              lanes, static_cast<long long>(window_us), scheme_name.c_str());
+
+  // Phase 1: direct forwards, no serving layer. Also yields the clean
+  // reference predictions the injection phase checks against. Run after a
+  // throwaway make_server so pm.model holds the deployed (fixed-point
+  // round-tripped) parameter values every phase serves.
+  { const auto warm = ev::make_server(pm, base); }
+  std::vector<std::int64_t> clean_predictions;
+  clean_predictions.reserve(samples.size());
+  PhaseReport direct;
+  {
+    const NoGradGuard no_grad;
+    pm.model->set_training(false);
+    std::vector<double> latencies;
+    latencies.reserve(samples.size());
+    ut::Timer wall;
+    for (const auto& s : samples) {
+      ut::Timer t;
+      const Variable out = pm.model->forward(Variable(s));
+      clean_predictions.push_back(argmax_rows(out.value()).front());
+      latencies.push_back(t.elapsed_ms());
+    }
+    direct = summarize(wall.elapsed_ms(), std::move(latencies));
+  }
+
+  // Phase 2: single-request serving — synchronous round-trips at batch 1.
+  PhaseReport single;
+  {
+    ev::ServeOptions options = base;
+    options.server.max_batch = 1;
+    options.server.batch_window = std::chrono::microseconds(0);
+    const auto server = ev::make_server(pm, options);
+    std::vector<double> latencies;
+    latencies.reserve(samples.size());
+    ut::Timer wall;
+    for (const auto& s : samples) {
+      ut::Timer t;
+      (void)server->infer(s);
+      latencies.push_back(t.elapsed_ms());
+    }
+    single = summarize(wall.elapsed_ms(), std::move(latencies));
+  }
+
+  // Phase 3: micro-batched serving — everything in flight at once.
+  PhaseReport batched;
+  {
+    const auto server = ev::make_server(pm, base);
+    std::vector<std::future<serve::RequestResult>> futures;
+    futures.reserve(samples.size());
+    ut::Timer wall;
+    std::vector<ut::Timer> submit_time(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      submit_time[i].reset();
+      futures.push_back(server->submit(samples[i]));
+    }
+    std::vector<double> latencies;
+    latencies.reserve(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (void)futures[i].get();
+      latencies.push_back(submit_time[i].elapsed_ms());
+    }
+    batched = summarize(wall.elapsed_ms(), std::move(latencies));
+  }
+
+  // Phase 4: batched load with live fault injection every `inject_every`
+  // waves of `batch` requests, closed-loop — each wave's futures are
+  // collected before the next injection, so every injection is sampled by
+  // traffic before the following one overwrites it (inject rebuilds from
+  // the clean snapshot). Coverage = detections / injections; the
+  // wrong-answer count is the real damage metric (an undetected fault that
+  // still classifies every request correctly costs nothing — e.g. an
+  // excursion driven negative that ReLU zeroes).
+  std::uint64_t injections = 0;
+  std::uint64_t wrong = 0;
+  serve::ServerStats inj_stats;
+  PhaseReport injected;
+  {
+    const auto server = ev::make_server(pm, base);
+    ut::Rng inj_rng(4242);
+    std::vector<double> latencies(samples.size(), 0.0);
+    ut::Timer wall;
+    std::size_t i = 0;
+    std::int64_t wave = 0;
+    while (i < samples.size()) {
+      if (inject_every > 0 && wave % inject_every == 0) {
+        const std::size_t lane =
+            static_cast<std::size_t>(inj_rng.next_below(lanes));
+        server->with_lane(lane,
+                          [&](nn::Module&, quant::ParamImage& image) {
+                            fault::Injector injector(image);
+                            (void)injector.inject_exact_at_bit(flips, bit,
+                                                               inj_rng);
+                          });
+        ++injections;
+      }
+      const std::size_t end = std::min(
+          samples.size(), i + static_cast<std::size_t>(batch));
+      std::vector<std::future<serve::RequestResult>> futures;
+      futures.reserve(end - i);
+      const std::size_t wave_begin = i;
+      for (; i < end; ++i) futures.push_back(server->submit(samples[i]));
+      for (std::size_t r = 0; r < futures.size(); ++r) {
+        const serve::RequestResult result = futures[r].get();
+        if (result.predicted != clean_predictions[wave_begin + r]) ++wrong;
+      }
+      ++wave;
+    }
+    injected = summarize(wall.elapsed_ms(), std::move(latencies));
+    server->drain();
+    inj_stats = server->stats();
+  }
+
+  const double speedup =
+      single.req_per_s > 0.0 ? batched.req_per_s / single.req_per_s : 0.0;
+  const double coverage =
+      injections > 0 ? static_cast<double>(inj_stats.detections) /
+                           static_cast<double>(injections)
+                     : 0.0;
+
+  ut::TextTable table({"phase", "wall ms", "req/s", "mean lat ms",
+                       "p95 lat ms"});
+  const auto row = [&](const std::string& name, const PhaseReport& r,
+                       bool lat) {
+    table.row({name, ut::TextTable::fixed(r.wall_ms, 1),
+               ut::TextTable::fixed(r.req_per_s, 1),
+               lat ? ut::TextTable::fixed(r.mean_latency_ms, 2) : "-",
+               lat ? ut::TextTable::fixed(r.p95_latency_ms, 2) : "-"});
+  };
+  row("direct forward", direct, true);
+  row("server, single-request", single, true);
+  row("server, micro-batched", batched, true);
+  row("micro-batched + injection", injected, false);
+  table.print();
+
+  std::printf("\nmicrobatch_speedup: %.2fx (batched vs single-request)\n",
+              speedup);
+  std::printf("injections: %llu  detections: %llu  recoveries: %llu  "
+              "coverage: %.0f%%\n",
+              static_cast<unsigned long long>(injections),
+              static_cast<unsigned long long>(inj_stats.detections),
+              static_cast<unsigned long long>(inj_stats.recoveries),
+              coverage * 100.0);
+  std::printf("wrong answers under injection: %llu / %zu requests\n",
+              static_cast<unsigned long long>(wrong), samples.size());
+
+  const std::string csv_path = cli.get("csv", "serve_throughput.csv");
+  ut::CsvWriter csv(csv_path,
+                    {"phase", "wall_ms", "req_per_s", "mean_latency_ms",
+                     "p95_latency_ms"});
+  const auto csv_row = [&](const std::string& name, const PhaseReport& r,
+                           bool has_latency) {
+    csv.row({name, ut::CsvWriter::num(r.wall_ms),
+             ut::CsvWriter::num(r.req_per_s),
+             has_latency ? ut::CsvWriter::num(r.mean_latency_ms) : "",
+             has_latency ? ut::CsvWriter::num(r.p95_latency_ms) : ""});
+  };
+  csv_row("direct", direct, true);
+  csv_row("single", single, true);
+  csv_row("batched", batched, true);
+  // Per-request latency is not measured in the closed-loop injection phase.
+  csv_row("injected", injected, false);
+  csv.row({"speedup", ut::CsvWriter::num(speedup), "", "", ""});
+  csv.row({"detection_coverage", ut::CsvWriter::num(coverage),
+           ut::CsvWriter::num(static_cast<double>(injections)),
+           ut::CsvWriter::num(static_cast<double>(inj_stats.detections)),
+           ut::CsvWriter::num(static_cast<double>(wrong))});
+  std::printf("CSV: %s\n", csv_path.c_str());
+
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: micro-batching speedup %.2fx below required %.2fx\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

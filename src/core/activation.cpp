@@ -138,6 +138,32 @@ void BoundedActivation::set_bounds(const Tensor& values, bool trainable) {
   }
 }
 
+void BoundedActivation::count_clamps(const Tensor& x) {
+  // Unbounded sites (plain ReLU, or bounds not yet installed) cannot clamp;
+  // they contribute to neither counter so they don't dilute the model-wide
+  // clamp rate of the bounded sites.
+  if (config_.scheme == Scheme::relu || !bounds_.defined()) return;
+  const Tensor& b = bounds_.value();
+  const float* px = x.data();
+  const float* pb = b.data();
+  const std::int64_t n = x.numel();
+  const std::int64_t extent = b.numel();
+  std::uint64_t events = 0;
+  if (extent == 1) {
+    const float bound = pb[0];
+    for (std::int64_t i = 0; i < n; ++i) events += px[i] > bound;
+  } else if (extent == channels_ && extent != feat_) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      events += px[i] > pb[(i % feat_) / hw_];
+    }
+  } else {
+    // Per-neuron extent (the broadcast fallback clipped_relu/fitrelu use).
+    for (std::int64_t i = 0; i < n; ++i) events += px[i] > pb[i % feat_];
+  }
+  clamp_events_ += events;
+  clamp_total_ += static_cast<std::uint64_t>(n);
+}
+
 Variable BoundedActivation::forward(const Variable& x) {
   observe_geometry(x.shape());
   if (profiling_) {
@@ -151,6 +177,7 @@ Variable BoundedActivation::forward(const Variable& x) {
     input = Variable(std::move(corrupted), false);
   }
   const Variable& xin = input;
+  if (clamp_counting_) count_clamps(xin.value());
   switch (config_.scheme) {
     case Scheme::relu:
       return ag::relu(xin);
@@ -201,6 +228,22 @@ std::int64_t total_bound_count(const nn::Module& root) {
   std::int64_t n = 0;
   for (const auto& act : collect_activations(root)) n += act->bound_count();
   return n;
+}
+
+void reset_clamp_counters(
+    const std::vector<std::shared_ptr<BoundedActivation>>& sites) {
+  for (const auto& site : sites) site->reset_clamp_counter();
+}
+
+double peak_site_clamp_rate(
+    const std::vector<std::shared_ptr<BoundedActivation>>& sites) {
+  double rate = 0.0;
+  for (const auto& site : sites) {
+    if (site->clamp_total() == 0) continue;
+    rate = std::max(rate, static_cast<double>(site->clamp_events()) /
+                              static_cast<double>(site->clamp_total()));
+  }
+  return rate;
 }
 
 }  // namespace fitact::core

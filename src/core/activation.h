@@ -110,6 +110,34 @@ class BoundedActivation final : public nn::Module {
     return channels_;
   }
 
+  // -- clamp-event counting -------------------------------------------------
+  /// Opt-in counter of activations that hit their bound. While enabled,
+  /// every (non-profiling) forward of a bounded scheme adds the number of
+  /// pre-activation values strictly above their bound to clamp_events() and
+  /// the number of values inspected to clamp_total(). A saturated clamp is
+  /// an observable symptom of an underlying parameter fault (the bounded
+  /// activation is *doing its job* confining the excursion), so the ratio
+  /// events/total is an online fault detector — see serve::InferenceServer.
+  /// Counting never changes the computed output. Counters are plain (not
+  /// atomic): a model instance must be driven from one thread at a time,
+  /// which is already the Module contract.
+  void set_clamp_counting(bool on) noexcept { clamp_counting_ = on; }
+  [[nodiscard]] bool clamp_counting() const noexcept { return clamp_counting_; }
+  /// Activations observed strictly above their bound since the last reset.
+  [[nodiscard]] std::uint64_t clamp_events() const noexcept {
+    return clamp_events_;
+  }
+  /// Activations inspected since the last reset (0 while the site has no
+  /// bounds: an unbounded site cannot clamp, so it contributes to neither
+  /// numerator nor denominator of a model-wide clamp rate).
+  [[nodiscard]] std::uint64_t clamp_total() const noexcept {
+    return clamp_total_;
+  }
+  void reset_clamp_counter() noexcept {
+    clamp_events_ = 0;
+    clamp_total_ = 0;
+  }
+
   // -- transient activation faults ------------------------------------------
   /// Mutates a *copy* of the pre-activation input tensor. Used by the
   /// transient-fault ablation to model soft errors in computed activations
@@ -128,10 +156,14 @@ class BoundedActivation final : public nn::Module {
  private:
   void observe_geometry(const Shape& xs);
   void update_profile(const Tensor& x);
+  void count_clamps(const Tensor& x);
 
   ActivationConfig config_;
   InputCorruptor corruptor_;
   bool profiling_ = false;
+  bool clamp_counting_ = false;
+  std::uint64_t clamp_events_ = 0;
+  std::uint64_t clamp_total_ = 0;
   bool bounds_registered_ = false;
   std::int64_t feat_ = 0;
   std::int64_t channels_ = 0;
@@ -147,5 +179,19 @@ collect_activations(const nn::Module& root);
 
 /// Total bound-parameter count across a model (Table I memory accounting).
 [[nodiscard]] std::int64_t total_bound_count(const nn::Module& root);
+
+/// Zero every site's clamp counters (start of a counted forward).
+void reset_clamp_counters(
+    const std::vector<std::shared_ptr<BoundedActivation>>& sites);
+
+/// The clamp-based fault-detection statistic: the maximum over sites of
+/// clamp_events() / clamp_total(), from the counters as they stand (sites
+/// that inspected nothing are skipped; 0 when nothing was inspected).
+/// serve::InferenceServer thresholds it per batch and
+/// ev::peak_clean_clamp_rate calibrates against it per sample — one
+/// definition so the calibrated threshold and the served statistic cannot
+/// drift apart.
+[[nodiscard]] double peak_site_clamp_rate(
+    const std::vector<std::shared_ptr<BoundedActivation>>& sites);
 
 }  // namespace fitact::core

@@ -1,0 +1,96 @@
+#include "eval/serving.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/log.h"
+
+namespace fitact::ev {
+
+double peak_clean_clamp_rate(const PreparedModel& pm, std::int64_t samples) {
+  if (!pm.model || !pm.test) {
+    throw std::invalid_argument(
+        "peak_clean_clamp_rate: prepared model has no model or test split");
+  }
+  const auto sites = core::collect_activations(*pm.model);
+  std::vector<bool> was_counting;
+  was_counting.reserve(sites.size());
+  for (const auto& site : sites) {
+    was_counting.push_back(site->clamp_counting());
+    site->set_clamp_counting(true);
+  }
+
+  const NoGradGuard no_grad;
+  pm.model->set_training(false);
+  const std::int64_t total =
+      std::min<std::int64_t>(std::max<std::int64_t>(samples, 1),
+                             pm.test->size());
+  double peak = 0.0;
+  for (std::int64_t i = 0; i < total; ++i) {
+    core::reset_clamp_counters(sites);
+    std::vector<std::int64_t> labels;
+    (void)pm.model->forward(Variable(pm.test->batch(i, 1, &labels)));
+    peak = std::max(peak, core::peak_site_clamp_rate(sites));
+  }
+
+  core::reset_clamp_counters(sites);
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    sites[i]->set_clamp_counting(was_counting[i]);
+  }
+  return peak;
+}
+
+std::unique_ptr<serve::InferenceServer> make_server(
+    PreparedModel& pm, const ServeOptions& options) {
+  if (!pm.model) {
+    throw std::invalid_argument("make_server: prepared model has no model");
+  }
+  // Deployment stores parameters in fixed point: round-trip the source once
+  // so pm.model itself holds the Q1.15.16-representable values the lanes
+  // will serve. Lane images snapshot these exact values, so a recovery
+  // restore is value-stable and recovered lanes stay bit-identical to
+  // pm.model. (The round-trip is idempotent — the campaign session layer
+  // already relies on that.)
+  {
+    quant::ParamImage image(*pm.model);
+    image.restore();
+    pm.touch();
+  }
+
+  serve::ServerConfig config = options.server;
+  const auto source_sites = core::collect_activations(*pm.model);
+  const bool any_bounds =
+      std::any_of(source_sites.begin(), source_sites.end(),
+                  [](const auto& s) {
+                    return s->scheme() != core::Scheme::relu && s->has_bounds();
+                  });
+  if (config.detection && !any_bounds) {
+    ut::log_warn() << "make_server: no bounded activation sites; the clamp "
+                      "rate is identically zero and fault detection will "
+                      "never fire";
+  }
+  if (config.detection && config.clamp_rate_threshold < 0.0) {
+    const double peak =
+        any_bounds ? peak_clean_clamp_rate(pm, options.calibration_samples)
+                   : 0.0;
+    config.clamp_rate_threshold =
+        std::max(peak * options.calibration_margin, options.calibration_floor);
+    ut::log_info() << "make_server: calibrated clamp-rate threshold "
+                   << config.clamp_rate_threshold << " (peak clean rate "
+                   << peak << ")";
+  }
+
+  // The server itself enables clamp counting on lane sites when detection
+  // is on, so the factory only assembles the lane anatomy.
+  serve::LaneFactory factory = [&pm](std::size_t) {
+    serve::Lane lane;
+    lane.model = replicate_model(pm);
+    lane.image = std::make_shared<quant::ParamImage>(*lane.model);
+    return lane;
+  };
+  return std::make_unique<serve::InferenceServer>(factory, config);
+}
+
+}  // namespace fitact::ev

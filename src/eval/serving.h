@@ -1,0 +1,60 @@
+// Adapter from the experiment layer to the serving subsystem: stands an
+// serve::InferenceServer up from a PreparedModel, reusing the campaign
+// engine's replica machinery (ev::replicate_model = skip-init make_model +
+// core::replicate_protection + nn::copy_state) for the lanes and
+// calibrating the clamp-rate fault-detection threshold from clean traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "eval/experiment.h"
+#include "serve/server.h"
+
+namespace fitact::ev {
+
+struct ServeOptions {
+  /// Server shape. A negative clamp_rate_threshold means "calibrate from
+  /// clean traffic" (the default here, overriding the ServerConfig default).
+  serve::ServerConfig server = [] {
+    serve::ServerConfig c;
+    c.clamp_rate_threshold = -1.0;
+    return c;
+  }();
+  /// Clean test samples used to calibrate the detection threshold.
+  std::int64_t calibration_samples = 64;
+  /// Threshold = max(peak clean per-sample clamp rate * margin, floor).
+  /// The peak *per-sample* statistic bounds every possible batch's
+  /// statistic: a batch's per-site rate is the mean of its samples'
+  /// per-site rates (every sample contributes the same activation count to
+  /// a site), so the batch's peak site rate cannot exceed the peak over
+  /// its samples. The calibrated detector is therefore false-positive-free
+  /// on the calibration set for any batch assembly.
+  double calibration_margin = 3.0;
+  double calibration_floor = 1e-3;
+};
+
+/// Peak per-sample, per-site clamp rate of pm.model over the first
+/// `samples` test samples (clean traffic) — the detection statistic
+/// serve::InferenceServer thresholds. Enables clamp counting for the
+/// measurement and restores the sites' previous counting state afterwards.
+[[nodiscard]] double peak_clean_clamp_rate(const PreparedModel& pm,
+                                           std::int64_t samples);
+
+/// Stand up a resilient inference server over the prepared (protected)
+/// model:
+///   1. quantisation-round-trips pm.model's parameters once (deployment
+///      stores parameters in Q1.15.16; this also makes every later lane
+///      scrub value-stable, so recovered lanes match pm.model bit-for-bit)
+///      and bumps pm.state_epoch;
+///   2. calibrates the clamp-rate threshold from clean test traffic when
+///      options ask for it (threshold < 0);
+///   3. builds `lanes` independent replicas, each with its own clean
+///      ParamImage, clamp counting enabled when detection is on.
+/// pm must outlive the returned server. Detection requires a bounded
+/// scheme; with plain ReLU sites the clamp rate is identically zero and
+/// the detector never fires (a warning is logged).
+[[nodiscard]] std::unique_ptr<serve::InferenceServer> make_server(
+    PreparedModel& pm, const ServeOptions& options = {});
+
+}  // namespace fitact::ev

@@ -1,0 +1,275 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "autograd/variable.h"
+#include "tensor/tensor_ops.h"
+
+namespace fitact::serve {
+
+InferenceServer::InferenceServer(const LaneFactory& factory,
+                                 ServerConfig config)
+    : config_(config) {
+  if (!factory) {
+    throw std::invalid_argument("InferenceServer: null lane factory");
+  }
+  if (config_.lanes == 0) {
+    throw std::invalid_argument("InferenceServer: at least one lane required");
+  }
+  if (config_.max_batch <= 0) {
+    throw std::invalid_argument("InferenceServer: max_batch must be positive");
+  }
+  lanes_.reserve(config_.lanes);
+  for (std::size_t i = 0; i < config_.lanes; ++i) {
+    auto state = std::make_unique<LaneState>();
+    state->lane = factory(i);
+    if (!state->lane.model || !state->lane.image) {
+      throw std::invalid_argument(
+          "InferenceServer: lane factory returned a lane without a model or "
+          "image");
+    }
+    if (state->lane.sites.empty()) {
+      state->lane.sites = core::collect_activations(*state->lane.model);
+    }
+    // Detection is thresholded on the sites' clamp counters; a lane whose
+    // sites never count would make the detector silently inert, so the
+    // server owns enabling it (a factory may still have done so already).
+    if (config_.detection) {
+      for (const auto& site : state->lane.sites) {
+        site->set_clamp_counting(true);
+      }
+    }
+    state->lane.model->set_training(false);
+    lanes_.push_back(std::move(state));
+  }
+  threads_.reserve(config_.lanes);
+  try {
+    for (std::size_t i = 0; i < config_.lanes; ++i) {
+      threads_.emplace_back([this, i] { lane_loop(i); });
+    }
+  } catch (...) {
+    // A lane thread failed to spawn (thread limit): shut down the ones
+    // already running before rethrowing — destroying a joinable
+    // std::thread would terminate the process.
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      stopping_ = true;
+    }
+    queue_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+    throw;
+  }
+}
+
+InferenceServer::~InferenceServer() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::future<RequestResult> InferenceServer::submit(const Tensor& image) {
+  if (!image.defined()) {
+    throw std::invalid_argument("InferenceServer::submit: undefined tensor");
+  }
+  // Accept [C,H,W] or a leading singleton batch dim [1,C,H,W]; the lane
+  // stacks samples along a fresh batch dimension.
+  Shape sample = image.shape();
+  if (sample.rank() == 4 && sample[0] == 1) {
+    sample = Shape{sample[1], sample[2], sample[3]};
+  }
+  if (sample.rank() != 3) {
+    throw std::invalid_argument(
+        "InferenceServer::submit: expected a [C,H,W] sample, got " +
+        image.shape().str());
+  }
+  Request req;
+  req.image = image;
+  std::future<RequestResult> future = req.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      throw std::runtime_error("InferenceServer::submit: server is stopping");
+    }
+    if (sample_shape_.empty()) {
+      sample_shape_ = sample;
+    } else if (sample_shape_ != sample) {
+      throw std::invalid_argument(
+          "InferenceServer::submit: sample shape " + sample.str() +
+          " does not match the server's " + sample_shape_.str());
+    }
+    queue_.push_back(std::move(req));
+    ++in_flight_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+  queue_cv_.notify_all();
+  return future;
+}
+
+RequestResult InferenceServer::infer(const Tensor& image) {
+  return submit(image).get();
+}
+
+void InferenceServer::drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+ServerStats InferenceServer::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void InferenceServer::with_lane(
+    std::size_t index,
+    const std::function<void(nn::Module&, quant::ParamImage&)>& fn) {
+  if (index >= lanes_.size()) {
+    throw std::out_of_range("InferenceServer::with_lane: no lane " +
+                            std::to_string(index));
+  }
+  LaneState& state = *lanes_[index];
+  const std::lock_guard<std::mutex> lock(state.mutex);
+  fn(*state.lane.model, *state.lane.image);
+}
+
+void InferenceServer::lane_loop(std::size_t index) {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and fully drained
+      if (config_.batch_window.count() > 0 &&
+          queue_.size() < static_cast<std::size_t>(config_.max_batch)) {
+        // Found work but not a full batch: wait up to the batching window
+        // for more arrivals, then take what's there.
+        queue_cv_.wait_for(lock, config_.batch_window, [&] {
+          return stopping_ ||
+                 queue_.size() >= static_cast<std::size_t>(config_.max_batch);
+        });
+      }
+      const std::size_t take = std::min(
+          queue_.size(), static_cast<std::size_t>(config_.max_batch));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (batch.empty()) continue;
+    process_batch(index, batch);
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      in_flight_ -= batch.size();
+      if (in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void InferenceServer::process_batch(std::size_t index,
+                                    std::vector<Request>& batch) {
+  LaneState& state = *lanes_[index];
+  const std::lock_guard<std::mutex> lane_lock(state.mutex);
+
+  std::uint64_t batch_id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    batch_id = next_batch_id_++;
+  }
+
+  std::size_t fulfilled = 0;
+  try {
+    const std::int64_t b = static_cast<std::int64_t>(batch.size());
+    const std::int64_t sample_numel = batch.front().image.numel();
+    std::vector<std::int64_t> dims;
+    dims.push_back(b);
+    const Shape& s0 = batch.front().image.shape();
+    const std::size_t skip = s0.rank() == 4 ? 1 : 0;  // leading [1,...]
+    for (std::size_t d = skip; d < s0.rank(); ++d) dims.push_back(s0[d]);
+    Tensor input{Shape(dims)};
+    for (std::int64_t i = 0; i < b; ++i) {
+      std::memcpy(input.data() + i * sample_numel, batch[i].image.data(),
+                  static_cast<std::size_t>(sample_numel) * sizeof(float));
+    }
+
+    const NoGradGuard no_grad;
+    // Detection statistic: the *peak per-site* clamp rate
+    // (core::peak_site_clamp_rate). Pooling all sites into one ratio would
+    // let the large early conv maps (tens of thousands of activations)
+    // drown out a saturating fault in a small late layer (a 64-neuron head
+    // contributes at most 64 events).
+    const auto forward_once = [&]() -> std::pair<Tensor, double> {
+      core::reset_clamp_counters(state.lane.sites);
+      const Variable out = state.lane.model->forward(Variable(input));
+      return {out.value(), core::peak_site_clamp_rate(state.lane.sites)};
+    };
+
+    std::pair<Tensor, double> fwd = forward_once();
+    Tensor& logits = fwd.first;
+    double& rate = fwd.second;
+    std::uint64_t forwards = 1;
+    std::uint64_t detections = 0;
+    std::uint64_t recoveries = 0;
+    bool recovered = false;
+    if (config_.detection && rate > config_.clamp_rate_threshold) {
+      ++detections;
+      for (int attempt = 0; attempt < config_.max_recoveries_per_batch;
+           ++attempt) {
+        // Memory scrubbing: write the clean image back over the (presumed
+        // faulty) live parameters, then re-run the batch on clean state.
+        state.lane.image->restore();
+        ++recoveries;
+        recovered = true;
+        fwd = forward_once();
+        ++forwards;
+        if (rate <= config_.clamp_rate_threshold) break;
+      }
+    }
+    const bool post_recovery_alarm =
+        recovered && rate > config_.clamp_rate_threshold;
+
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.batches;
+      stats_.forwards += forwards;
+      stats_.detections += detections;
+      stats_.recoveries += recoveries;
+      stats_.post_recovery_alarms += post_recovery_alarm ? 1 : 0;
+    }
+
+    const std::int64_t classes = logits.numel() / b;
+    const auto predicted = argmax_rows(logits);
+    for (std::int64_t i = 0; i < b; ++i) {
+      RequestResult r;
+      r.logits = Tensor(Shape{classes});
+      std::memcpy(r.logits.data(), logits.data() + i * classes,
+                  static_cast<std::size_t>(classes) * sizeof(float));
+      r.predicted = predicted[static_cast<std::size_t>(i)];
+      r.batch_id = batch_id;
+      r.lane = index;
+      r.batch_size = b;
+      r.recovered = recovered;
+      r.clamp_rate = rate;
+      batch[static_cast<std::size_t>(i)].promise.set_value(std::move(r));
+      ++fulfilled;
+    }
+  } catch (...) {
+    // Never break a promise: forward or assembly failures surface on the
+    // caller's future, and the lane keeps serving. Skip promises already
+    // fulfilled (a failure mid-fulfillment-loop) — set_exception on a
+    // satisfied promise would itself throw out of the lane thread.
+    for (std::size_t i = fulfilled; i < batch.size(); ++i) {
+      batch[i].promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace fitact::serve

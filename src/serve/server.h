@@ -1,0 +1,180 @@
+// Resilient online inference serving.
+//
+// InferenceServer accepts single-sample requests, micro-batches them
+// (configurable maximum batch size and batching window), and fans the
+// batches out across worker lanes. Each lane owns an independent replica of
+// the served model plus a clean quant::ParamImage of its parameters — the
+// same lane anatomy as the fault-campaign engine (fault::CampaignWorker),
+// assembled here into an online serving path.
+//
+// Fault detection exploits the dual of the paper's core observation:
+// bounded activations confine fault propagation, so a *saturated clamp at
+// inference time* is an observable symptom of an underlying parameter
+// fault. Every lane forward counts clamp events (BoundedActivation's
+// opt-in counter) per activation site; when the peak per-site clamp rate
+// of a batch crosses the configured threshold, the lane declares a fault,
+// scrubs its parameters by restoring the clean image, and re-runs the
+// batch. (Per-site, not pooled: a saturating fault in a 64-neuron head
+// would otherwise drown in the tens of thousands of activations the early
+// conv maps contribute.) Clean traffic clamps at a low, calibratable
+// baseline rate (see ev::make_server), so detection is free: the
+// protection layer doubles as the detector.
+//
+// Output contract: per-request results are bit-identical to running the
+// sample alone through the lane model — every layer computes each batch row
+// with a fixed per-element accumulation order independent of the batch
+// assembly — so micro-batching, lane count, and arrival order never change
+// what a client receives. serve_test enforces this.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/activation.h"
+#include "nn/module.h"
+#include "quant/param_image.h"
+#include "tensor/tensor.h"
+
+namespace fitact::serve {
+
+struct ServerConfig {
+  /// Worker lanes; each lane runs its own replica on its own thread.
+  std::size_t lanes = 1;
+  /// Requests per micro-batch (upper bound).
+  std::int64_t max_batch = 8;
+  /// How long a lane waits for more requests after finding the queue
+  /// non-empty but below max_batch. 0 = greedy: take whatever is queued
+  /// immediately (deterministic; what the tests use).
+  std::chrono::microseconds batch_window{0};
+  /// Clamp-rate fault detection on lane forwards.
+  bool detection = true;
+  /// Peak per-site clamp rate (one site's clamp events / activations
+  /// inspected, maximised over the model's activation sites) above which a
+  /// lane declares a parameter fault. ev::make_server can calibrate this
+  /// from clean traffic.
+  double clamp_rate_threshold = 0.05;
+  /// Scrub-and-re-run attempts per batch. After the last attempt the batch
+  /// is served from the scrubbed (clean) parameters even if the rate is
+  /// still above threshold — a persistent alarm on clean parameters means
+  /// the threshold is miscalibrated for this traffic, not that the
+  /// parameters are faulty.
+  int max_recoveries_per_batch = 1;
+};
+
+struct RequestResult {
+  Tensor logits;               ///< [num_classes] row for this request
+  std::int64_t predicted = -1; ///< argmax of logits
+  std::uint64_t batch_id = 0;  ///< which micro-batch served it
+  std::size_t lane = 0;
+  std::int64_t batch_size = 0; ///< how many requests shared the batch
+  bool recovered = false;      ///< batch was re-run after a detection
+  /// Peak per-site clamp rate of the forward that produced this result.
+  double clamp_rate = 0.0;
+};
+
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t forwards = 0;    ///< lane forwards, including re-runs
+  std::uint64_t detections = 0;  ///< clamp-rate threshold crossings
+  std::uint64_t recoveries = 0;  ///< clean-image scrubs triggered
+  /// Batches still above threshold after the last permitted recovery
+  /// (served from clean parameters regardless).
+  std::uint64_t post_recovery_alarms = 0;
+};
+
+/// Everything one serving lane is made of. `sites` may be left empty; the
+/// server collects the model's BoundedActivation sites itself, and enables
+/// clamp counting on them when detection is configured.
+struct Lane {
+  std::shared_ptr<nn::Module> model;
+  std::shared_ptr<quant::ParamImage> image;
+  std::vector<std::shared_ptr<core::BoundedActivation>> sites;
+};
+
+/// Builds lane `index` (0-based). Every lane must return an independent
+/// replica (unlike the campaign engine there is no serial lane-0 path — all
+/// lanes serve concurrently). See ev::make_server for the standard factory
+/// over a PreparedModel.
+using LaneFactory = std::function<Lane(std::size_t index)>;
+
+class InferenceServer {
+ public:
+  /// Builds every lane on the calling thread, then starts the lane threads.
+  /// Throws std::invalid_argument for a null factory, zero-lane or
+  /// non-positive-batch configs, or a factory that returns a lane without a
+  /// model or image.
+  InferenceServer(const LaneFactory& factory, ServerConfig config);
+
+  /// Stops accepting work, drains every queued request, and joins the lane
+  /// threads. Pending promises are always fulfilled.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueue one sample ([C,H,W], or [1,C,H,W]); the tensor is copied into
+  /// the batch during assembly, so the caller may reuse its buffer after
+  /// submit returns. All samples must share one shape (fixed by the first
+  /// request). Throws std::runtime_error after shutdown began.
+  [[nodiscard]] std::future<RequestResult> submit(const Tensor& image);
+
+  /// Synchronous convenience wrapper: submit + wait.
+  [[nodiscard]] RequestResult infer(const Tensor& image);
+
+  /// Block until every submitted request has been answered.
+  void drain();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] std::size_t lane_count() const noexcept {
+    return lanes_.size();
+  }
+  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+
+  /// Exclusive access to a lane's live model and clean image while the lane
+  /// is between batches — the hook fault-injection benches and tests use to
+  /// corrupt a lane's parameters under the server's feet (via a
+  /// fault::Injector over the lane's image, say). Blocks until the lane
+  /// finishes its current batch.
+  void with_lane(std::size_t index,
+                 const std::function<void(nn::Module&, quant::ParamImage&)>& fn);
+
+ private:
+  struct Request {
+    Tensor image;
+    std::promise<RequestResult> promise;
+  };
+  struct LaneState {
+    Lane lane;
+    std::mutex mutex;  ///< held while the lane processes a batch
+  };
+
+  void lane_loop(std::size_t index);
+  void process_batch(std::size_t index, std::vector<Request>& batch);
+
+  ServerConfig config_;
+  std::vector<std::unique_ptr<LaneState>> lanes_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Request> queue_;
+  Shape sample_shape_;           ///< fixed by the first submitted request
+  std::uint64_t in_flight_ = 0;  ///< submitted, not yet answered
+  std::uint64_t next_batch_id_ = 0;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace fitact::serve

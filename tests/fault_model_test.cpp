@@ -184,6 +184,118 @@ TEST(FaultModel, BurstClampsAtWordBoundary) {
   }
 }
 
+TEST(FaultModel, BurstClampsAtBit31WordBoundary) {
+  // Anchor at the sign bit itself: a burst of any length must collapse to
+  // the single bit 31 — never wrap into the next word or shift past 31
+  // (1u << 32 is UB the clamp must make unreachable).
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  img.restore();
+  const auto clean = img.clean_words();
+  Injector inj(img);
+  ut::Rng rng(61);
+  FaultModel m;
+  m.type = FaultType::word_burst;
+  m.burst_length = 8;
+  m.bit_lo = 31;
+  m.bit_hi = 31;
+  m.bit_error_rate = 5e-2;
+  inj.inject(m, rng);
+  quant::ParamImage after(*net);
+  const auto& faulty = after.clean_words();
+  int changed_words = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const auto diff = static_cast<std::uint32_t>(clean[i]) ^
+                      static_cast<std::uint32_t>(faulty[i]);
+    if (diff == 0) continue;
+    ++changed_words;
+    // Sign bit flipped; the float round-trip of the (huge) value may
+    // perturb low bits, but bits 12..30 must be untouched: the burst never
+    // spilled below its clamped single-bit extent.
+    EXPECT_NE(diff & 0x80000000u, 0u) << "word " << i;
+    EXPECT_EQ(diff & 0x7FFFF000u, 0u) << "word " << i;
+  }
+  EXPECT_GT(changed_words, 0);
+}
+
+TEST(FaultModel, StuckAtZeroOnClearedBitIsNoop) {
+  // Mirror of StuckAtOnIdenticalBitIsNoop for the other polarity: clear a
+  // bit, then stick it at 0 with certainty — the word must not move.
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  img.restore();
+  Injector inj(img);
+  auto words = img.clean_words();
+  words[0] = static_cast<std::int32_t>(
+      static_cast<std::uint32_t>(words[0]) & ~(1u << 5));
+  img.write_back(words);
+  img.refresh();
+  const float before = net->named_parameters()[0].var.value()[0];
+  ut::Rng rng(62);
+  FaultModel m;
+  m.type = FaultType::stuck_at_zero;
+  m.bit_lo = 5;
+  m.bit_hi = 5;
+  m.bit_error_rate = 1.0;  // hit every eligible anchor
+  inj.inject(m, rng);
+  EXPECT_EQ(net->named_parameters()[0].var.value()[0], before);
+}
+
+TEST(FaultModel, StuckAtFaultsAreIdempotent) {
+  // A permanent defect applied twice is the same defect: injecting the
+  // same stuck-at model again (over the refreshed image) changes nothing.
+  for (const FaultType type :
+       {FaultType::stuck_at_one, FaultType::stuck_at_zero}) {
+    auto net = small_net();
+    quant::ParamImage img(*net);
+    img.restore();
+    Injector inj(img);
+    ut::Rng rng(63);
+    FaultModel m;
+    m.type = type;
+    m.bit_error_rate = 1.0;  // deterministic: every anchor in range fires
+    m.bit_hi = 14;           // stay exactly float-representable
+    inj.inject(m, rng);
+    quant::ParamImage once(*net);
+    const auto first = once.clean_words();
+    // Second application over the *current* state (refresh so the image's
+    // clean snapshot is the already-stuck pattern).
+    img.refresh();
+    inj.inject(m, rng);
+    quant::ParamImage twice(*net);
+    const auto& second = twice.clean_words();
+    EXPECT_EQ(first, second) << to_string(type);
+  }
+}
+
+TEST(FaultModel, SingleLowBitRangeConfinesInjection) {
+  // bit_lo == bit_hi == 0: only the fraction LSB may move, and for the
+  // small weights of the net that round-trips exactly, so the diff mask is
+  // exactly bit 0 on every faulty word.
+  auto net = small_net();
+  quant::ParamImage img(*net);
+  img.restore();
+  const auto clean = img.clean_words();
+  Injector inj(img);
+  ut::Rng rng(64);
+  FaultModel m;
+  m.bit_lo = 0;
+  m.bit_hi = 0;
+  m.bit_error_rate = 0.1;
+  inj.inject(m, rng);
+  quant::ParamImage after(*net);
+  const auto& faulty = after.clean_words();
+  int changed_words = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    const auto diff = static_cast<std::uint32_t>(clean[i]) ^
+                      static_cast<std::uint32_t>(faulty[i]);
+    if (diff == 0) continue;
+    ++changed_words;
+    EXPECT_EQ(diff, 1u) << "fault escaped bit 0 at word " << i;
+  }
+  EXPECT_GT(changed_words, 0);
+}
+
 TEST(FaultModel, BitRangeTargetingStaysInRange) {
   auto net = small_net();
   quant::ParamImage img(*net);
