@@ -5,18 +5,45 @@
 #
 # CI runs this same script so local and CI invocations cannot drift.
 # Knobs (all optional, via environment):
-#   BUILD_DIR      build tree (default: build)
+#   BUILD_DIR      build tree (default: build; build-tsan under --tsan)
 #   CMAKE_ARGS     extra configure arguments (compiler launchers, build type,
 #                  -DFITACT_SANITIZE=address,undefined, ...)
-#   CTEST_TIMEOUT  per-test timeout in seconds (default: 300) so one hung
+#   CTEST_TIMEOUT  per-test timeout in seconds (default: 300, or 900 under
+#                  --tsan for the ~5-15x sanitizer slowdown) so one hung
 #                  campaign test cannot stall a runner for hours
+#
+# Flags:
+#   --tsan   ThreadSanitizer lane: configure a separate build tree with
+#            -DFITACT_SANITIZE=thread and run the concurrency-bearing CTest
+#            labels (stress + serve, which include the multi-client server
+#            hammer test) instead of the full suite. This is the dynamic
+#            half of the concurrency tooling; the static half is the clang
+#            -DFITACT_THREAD_SAFETY=ON build (see README "Static analysis
+#            & sanitizers").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${BUILD_DIR:-build}
-CTEST_TIMEOUT=${CTEST_TIMEOUT:-300}
+TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) TSAN=1 ;;
+    *) echo "unknown flag: $arg (supported: --tsan)" >&2; exit 2 ;;
+  esac
+done
+
+CTEST_ARGS=()
+if [[ "$TSAN" == 1 ]]; then
+  BUILD_DIR=${BUILD_DIR:-build-tsan}
+  CTEST_TIMEOUT=${CTEST_TIMEOUT:-900}
+  CMAKE_ARGS="${CMAKE_ARGS:-} -DFITACT_SANITIZE=thread"
+  CTEST_ARGS+=(-L 'stress|serve')
+else
+  BUILD_DIR=${BUILD_DIR:-build}
+  CTEST_TIMEOUT=${CTEST_TIMEOUT:-300}
+fi
 
 # shellcheck disable=SC2086  # CMAKE_ARGS is intentionally word-split
 cmake -B "$BUILD_DIR" -S . ${CMAKE_ARGS:-}
 cmake --build "$BUILD_DIR" -j
-cd "$BUILD_DIR" && ctest --output-on-failure -j --timeout "$CTEST_TIMEOUT"
+cd "$BUILD_DIR" && ctest --output-on-failure -j --timeout "$CTEST_TIMEOUT" \
+  ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}

@@ -1,6 +1,7 @@
 #include "core/activation.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "autograd/ops.h"
@@ -143,6 +144,18 @@ void BoundedActivation::count_clamps(const Tensor& x) {
   // they contribute to neither counter so they don't dilute the model-wide
   // clamp rate of the bounded sites.
   if (config_.scheme == Scheme::relu || !bounds_.defined()) return;
+#ifndef NDEBUG
+  // Single-writer enforcement (debug builds): two overlapping counted
+  // forwards mean this model is shared across serving lanes, which would
+  // silently corrupt/double-count the detection statistic. Sequential use
+  // from different threads (e.g. a campaign slot migrating between pool
+  // workers) is legitimate and passes.
+  const bool was_busy = clamp_busy_.exchange(true, std::memory_order_acquire);
+  assert(!was_busy &&
+         "BoundedActivation: concurrent clamp-counting forwards — counting "
+         "must only be enabled on per-lane replicas, never a shared model");
+  (void)was_busy;
+#endif
   const Tensor& b = bounds_.value();
   const float* px = x.data();
   const float* pb = b.data();
@@ -162,6 +175,9 @@ void BoundedActivation::count_clamps(const Tensor& x) {
   }
   clamp_events_ += events;
   clamp_total_ += static_cast<std::uint64_t>(n);
+#ifndef NDEBUG
+  clamp_busy_.store(false, std::memory_order_release);
+#endif
 }
 
 Variable BoundedActivation::forward(const Variable& x) {

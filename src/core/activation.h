@@ -17,6 +17,7 @@
 // does not know at construction time).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -120,7 +121,14 @@ class BoundedActivation final : public nn::Module {
   /// events/total is an online fault detector — see serve::InferenceServer.
   /// Counting never changes the computed output. Counters are plain (not
   /// atomic): a model instance must be driven from one thread at a time,
-  /// which is already the Module contract.
+  /// which is already the Module contract. The single-writer rule is what
+  /// lets the serve detector trust the counters — if one model were ever
+  /// shared by two lanes, concurrent forwards would corrupt (or
+  /// double-count) the per-batch rates and the detector would silently
+  /// mis-fire. Debug builds enforce it: count_clamps asserts that no two
+  /// counted forwards overlap (see clamp_busy_ below), so a shared model
+  /// trips an assert instead of corrupting detection. Enable counting only
+  /// on per-lane replicas, never on a model other threads can reach.
   void set_clamp_counting(bool on) noexcept { clamp_counting_ = on; }
   [[nodiscard]] bool clamp_counting() const noexcept { return clamp_counting_; }
   /// Activations observed strictly above their bound since the last reset.
@@ -164,6 +172,11 @@ class BoundedActivation final : public nn::Module {
   bool clamp_counting_ = false;
   std::uint64_t clamp_events_ = 0;
   std::uint64_t clamp_total_ = 0;
+  /// Debug-build detector for the single-writer contract above: set for the
+  /// duration of each counted forward; a second thread finding it set means
+  /// the model is shared across lanes. Atomic so the check itself is not a
+  /// data race under TSan; it carries no synchronisation duty beyond that.
+  std::atomic<bool> clamp_busy_{false};
   bool bounds_registered_ = false;
   std::int64_t feat_ = 0;
   std::int64_t channels_ = 0;

@@ -49,7 +49,10 @@ std::size_t lane_count_for(const CampaignConfig& config, std::size_t trials) {
 /// fan `trials` out over the first `lanes` entries of `workers`. Every
 /// worker must already be built (and synced); trial t always consumes
 /// stream t and writes slot t, so the result is bit-identical for any lane
-/// count.
+/// count. Lock-free by construction: `streams` and both result vectors are
+/// fully sized before the fan-out, every trial touches disjoint elements,
+/// and parallel_for_slotted's join is the only synchronisation needed (see
+/// the contract note in campaign.h).
 CampaignResult run_trials(std::vector<CampaignWorker>& workers,
                           std::size_t lanes, const CampaignConfig& config,
                           std::size_t trials) {

@@ -7,6 +7,15 @@
 // results into a fixed slot, and every worker lane operates on its own
 // model replica, so a campaign's CampaignResult is bit-identical for any
 // `threads` setting (including the serial threads = 1 path).
+//
+// Concurrency contract: the engine holds no locks of its own. Cross-thread
+// isolation comes from structure — trial t writes only result slot t and
+// reads only stream t (both sized before the fan-out, so no reallocation
+// races), and each concurrently running chunk owns a distinct worker lane
+// via ut::ThreadPool::parallel_for_slotted, whose join publishes every
+// slot's writes to the calling thread. The locking that backs this lives in
+// the pool and is annotated there (util/thread_annotations.h); the TSan CI
+// lane checks the disjointness claim dynamically.
 #pragma once
 
 #include <cstdint>

@@ -25,6 +25,10 @@ InferenceServer::InferenceServer(const LaneFactory& factory,
   lanes_.reserve(config_.lanes);
   for (std::size_t i = 0; i < config_.lanes; ++i) {
     auto state = std::make_unique<LaneState>();
+    // No lane thread exists yet, but LaneState::lane is guarded by the lane
+    // mutex and this is not LaneState's own constructor, so take the
+    // (uncontended) lock to keep the annotation contract unconditional.
+    const ut::LockGuard lane_lock(state->mutex);
     state->lane = factory(i);
     if (!state->lane.model || !state->lane.image) {
       throw std::invalid_argument(
@@ -55,7 +59,7 @@ InferenceServer::InferenceServer(const LaneFactory& factory,
     // already running before rethrowing — destroying a joinable
     // std::thread would terminate the process.
     {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      const ut::LockGuard lock(queue_mutex_);
       stopping_ = true;
     }
     queue_cv_.notify_all();
@@ -66,7 +70,7 @@ InferenceServer::InferenceServer(const LaneFactory& factory,
 
 InferenceServer::~InferenceServer() {
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    const ut::LockGuard lock(queue_mutex_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
@@ -92,7 +96,7 @@ std::future<RequestResult> InferenceServer::submit(const Tensor& image) {
   req.image = image;
   std::future<RequestResult> future = req.promise.get_future();
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    const ut::LockGuard lock(queue_mutex_);
     if (stopping_) {
       throw std::runtime_error("InferenceServer::submit: server is stopping");
     }
@@ -107,7 +111,7 @@ std::future<RequestResult> InferenceServer::submit(const Tensor& image) {
     ++in_flight_;
   }
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const ut::LockGuard lock(stats_mutex_);
     ++stats_.requests;
   }
   queue_cv_.notify_all();
@@ -119,12 +123,12 @@ RequestResult InferenceServer::infer(const Tensor& image) {
 }
 
 void InferenceServer::drain() {
-  std::unique_lock<std::mutex> lock(queue_mutex_);
-  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  const ut::LockGuard lock(queue_mutex_);
+  while (in_flight_ != 0) idle_cv_.wait(queue_mutex_);
 }
 
 ServerStats InferenceServer::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  const ut::LockGuard lock(stats_mutex_);
   return stats_;
 }
 
@@ -136,7 +140,7 @@ void InferenceServer::with_lane(
                             std::to_string(index));
   }
   LaneState& state = *lanes_[index];
-  const std::lock_guard<std::mutex> lock(state.mutex);
+  const ut::LockGuard lock(state.mutex);
   fn(*state.lane.model, *state.lane.image);
 }
 
@@ -144,17 +148,22 @@ void InferenceServer::lane_loop(std::size_t index) {
   for (;;) {
     std::vector<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      const ut::LockGuard lock(queue_mutex_);
+      while (!stopping_ && queue_.empty()) queue_cv_.wait(queue_mutex_);
       if (queue_.empty()) return;  // stopping, and fully drained
       if (config_.batch_window.count() > 0 &&
           queue_.size() < static_cast<std::size_t>(config_.max_batch)) {
         // Found work but not a full batch: wait up to the batching window
         // for more arrivals, then take what's there.
-        queue_cv_.wait_for(lock, config_.batch_window, [&] {
-          return stopping_ ||
-                 queue_.size() >= static_cast<std::size_t>(config_.max_batch);
-        });
+        const auto deadline =
+            std::chrono::steady_clock::now() + config_.batch_window;
+        while (!stopping_ &&
+               queue_.size() < static_cast<std::size_t>(config_.max_batch)) {
+          if (queue_cv_.wait_until(queue_mutex_, deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
       }
       const std::size_t take = std::min(
           queue_.size(), static_cast<std::size_t>(config_.max_batch));
@@ -167,7 +176,7 @@ void InferenceServer::lane_loop(std::size_t index) {
     if (batch.empty()) continue;
     process_batch(index, batch);
     {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      const ut::LockGuard lock(queue_mutex_);
       in_flight_ -= batch.size();
       if (in_flight_ == 0) idle_cv_.notify_all();
     }
@@ -177,11 +186,11 @@ void InferenceServer::lane_loop(std::size_t index) {
 void InferenceServer::process_batch(std::size_t index,
                                     std::vector<Request>& batch) {
   LaneState& state = *lanes_[index];
-  const std::lock_guard<std::mutex> lane_lock(state.mutex);
+  const ut::LockGuard lane_lock(state.mutex);
 
   std::uint64_t batch_id = 0;
   {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    const ut::LockGuard lock(queue_mutex_);
     batch_id = next_batch_id_++;
   }
 
@@ -237,7 +246,7 @@ void InferenceServer::process_batch(std::size_t index,
         recovered && rate > config_.clamp_rate_threshold;
 
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const ut::LockGuard lock(stats_mutex_);
       ++stats_.batches;
       stats_.forwards += forwards;
       stats_.detections += detections;

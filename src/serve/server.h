@@ -20,6 +20,13 @@
 // baseline rate (see ev::make_server), so detection is free: the
 // protection layer doubles as the detector.
 //
+// Locking discipline (machine-checked under clang -Wthread-safety): the
+// request queue, shape latch, and shutdown flag live under queue_mutex_;
+// aggregate counters under stats_mutex_; and each lane's model/image/sites
+// under that lane's own mutex (held for the whole batch, and by with_lane).
+// Lock order: a lane mutex is acquired before queue_mutex_/stats_mutex_ and
+// the two global mutexes are never held together.
+//
 // Output contract: per-request results are bit-identical to running the
 // sample alone through the lane model — every layer computes each batch row
 // with a fixed per-element accumulation order independent of the batch
@@ -28,13 +35,11 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -42,6 +47,7 @@
 #include "nn/module.h"
 #include "quant/param_image.h"
 #include "tensor/tensor.h"
+#include "util/thread_annotations.h"
 
 namespace fitact::serve {
 
@@ -153,28 +159,30 @@ class InferenceServer {
     std::promise<RequestResult> promise;
   };
   struct LaneState {
-    Lane lane;
-    std::mutex mutex;  ///< held while the lane processes a batch
+    ut::Mutex mutex;  ///< held while the lane processes a batch
+    Lane lane FITACT_GUARDED_BY(mutex);
   };
 
   void lane_loop(std::size_t index);
   void process_batch(std::size_t index, std::vector<Request>& batch);
 
-  ServerConfig config_;
-  std::vector<std::unique_ptr<LaneState>> lanes_;
+  ServerConfig config_;  ///< immutable after construction
+  std::vector<std::unique_ptr<LaneState>> lanes_;  ///< vector itself immutable
   std::vector<std::thread> threads_;
 
-  mutable std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<Request> queue_;
-  Shape sample_shape_;           ///< fixed by the first submitted request
-  std::uint64_t in_flight_ = 0;  ///< submitted, not yet answered
-  std::uint64_t next_batch_id_ = 0;
-  bool stopping_ = false;
+  mutable ut::Mutex queue_mutex_;
+  ut::CondVar queue_cv_;
+  ut::CondVar idle_cv_;
+  std::deque<Request> queue_ FITACT_GUARDED_BY(queue_mutex_);
+  /// Fixed by the first submitted request.
+  Shape sample_shape_ FITACT_GUARDED_BY(queue_mutex_);
+  /// Submitted, not yet answered.
+  std::uint64_t in_flight_ FITACT_GUARDED_BY(queue_mutex_) = 0;
+  std::uint64_t next_batch_id_ FITACT_GUARDED_BY(queue_mutex_) = 0;
+  bool stopping_ FITACT_GUARDED_BY(queue_mutex_) = false;
 
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
+  mutable ut::Mutex stats_mutex_;
+  ServerStats stats_ FITACT_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace fitact::serve

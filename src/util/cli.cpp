@@ -27,8 +27,8 @@ Cli::Cli(int argc, char** argv) {
   }
 }
 
-bool Cli::has(const std::string& name) const {
-  return options_.count(name) > 0;
+bool Cli::has(const std::string& name) const noexcept {
+  return options_.contains(name);
 }
 
 std::string Cli::get(const std::string& name,

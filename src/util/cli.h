@@ -13,7 +13,7 @@ class Cli {
  public:
   Cli(int argc, char** argv);
 
-  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const noexcept;
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,

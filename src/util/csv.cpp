@@ -9,7 +9,9 @@ std::string csv_escape(std::string_view cell) {
   const bool needs_quote =
       cell.find_first_of(",\"\n") != std::string_view::npos;
   if (!needs_quote) return std::string(cell);
-  std::string out = "\"";
+  std::string out;
+  out.reserve(cell.size() + 2);  // common case: quotes only, no " doubling
+  out += '"';
   for (const char c : cell) {
     if (c == '"') out += '"';
     out += c;

@@ -25,7 +25,7 @@ class CsvWriter {
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
   /// Render a double without trailing-zero noise ("1.5", "3e-06", "84.81").
-  static std::string num(double v);
+  [[nodiscard]] static std::string num(double v);
 
  private:
   void write_row(const std::vector<std::string>& cells);
@@ -36,6 +36,6 @@ class CsvWriter {
 };
 
 /// Escape a cell per RFC 4180 (quotes around cells containing , " or \n).
-std::string csv_escape(std::string_view cell);
+[[nodiscard]] std::string csv_escape(std::string_view cell);
 
 }  // namespace fitact::ut

@@ -5,6 +5,11 @@
 
 namespace fitact::ut {
 namespace {
+// Relaxed atomic: the level is a monotonic-ish configuration value, not a
+// synchronisation point — a logger racing a set_log_level call may apply
+// either threshold to the in-flight line, and both outcomes are correct.
+// The atomic only keeps the read/write itself from being a data race
+// (plain storage here is the kind of "benign" race TSan rightly flags).
 std::atomic<LogLevel> g_level{LogLevel::info};
 
 const char* level_name(LogLevel level) noexcept {
@@ -24,12 +29,16 @@ const char* level_name(LogLevel level) noexcept {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() noexcept { return g_level.load(); }
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::string line = "[";
   line += level_name(level);
   line += "] ";

@@ -15,14 +15,26 @@ void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
 /// Emit one line ("[level] message") to stderr if `level` passes the
-/// threshold. Thread-safe (single write call per line).
+/// threshold. Thread-safe without a mutex of its own: the line is built in
+/// a local buffer and handed to stderr in a single fwrite (stdio locks the
+/// stream per call, so concurrent lines interleave whole, never mid-line),
+/// and the level threshold is a relaxed atomic (see log.cpp for why the
+/// race with set_log_level is benign).
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {
 class LineBuilder {
  public:
   explicit LineBuilder(LogLevel level) : level_(level) {}
-  ~LineBuilder() { log_line(level_, os_.str()); }
+  ~LineBuilder() {
+    // Swallow a failed emit (e.g. bad_alloc building the line): losing one
+    // log line beats std::terminate from a throwing implicitly-noexcept
+    // destructor.
+    try {
+      log_line(level_, os_.str());
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
   LineBuilder(const LineBuilder&) = delete;
   LineBuilder& operator=(const LineBuilder&) = delete;
 

@@ -20,9 +20,10 @@ class TextTable {
   void print() const;
 
   /// Format helpers.
-  static std::string fixed(double v, int decimals);
-  static std::string percent(double fraction01, int decimals = 2);
-  static std::string sci(double v);
+  [[nodiscard]] static std::string fixed(double v, int decimals);
+  [[nodiscard]] static std::string percent(double fraction01,
+                                           int decimals = 2);
+  [[nodiscard]] static std::string sci(double v);
 
  private:
   std::vector<std::string> header_;

@@ -1,0 +1,133 @@
+// Machine-checkable locking contracts.
+//
+// Two layers:
+//
+//  1. FITACT_* macros wrapping Clang's thread-safety-analysis attributes
+//     (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Under clang
+//     with -Wthread-safety (the FITACT_THREAD_SAFETY CMake knob promotes it
+//     to an error), a read of a FITACT_GUARDED_BY member without its mutex
+//     held, a call to a FITACT_REQUIRES function off the lock, or an
+//     unbalanced acquire/release is a compile error. Under gcc (which has
+//     no equivalent analysis) every macro expands to nothing.
+//
+//  2. ut::Mutex / ut::LockGuard / ut::CondVar — thin, CAPABILITY-annotated
+//     wrappers over the standard primitives. All concurrent code in src/
+//     uses these instead of naked std::mutex so the analysis can see every
+//     lock site; scripts/lint.sh enforces the ban on raw std::mutex
+//     members outside this header.
+//
+// CondVar is a std::condition_variable_any waiting on the Mutex itself
+// (not a std::unique_lock), which keeps the capability visible to the
+// analysis across the wait: CondVar::wait REQUIRES the mutex and the
+// analysis treats it as held throughout, matching the caller-visible
+// contract (wait reacquires before returning). Prefer explicit
+//
+//   while (!predicate) cv.wait(mutex);
+//
+// loops over predicate lambdas: a lambda is analyzed as a separate
+// function that cannot see the caller's locks, so guarded reads inside
+// one would (correctly) fail the analysis.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FITACT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FITACT_THREAD_ANNOTATION
+#define FITACT_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define FITACT_CAPABILITY(x) FITACT_THREAD_ANNOTATION(capability(x))
+#define FITACT_SCOPED_CAPABILITY FITACT_THREAD_ANNOTATION(scoped_lockable)
+#define FITACT_GUARDED_BY(x) FITACT_THREAD_ANNOTATION(guarded_by(x))
+#define FITACT_PT_GUARDED_BY(x) FITACT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FITACT_REQUIRES(...) \
+  FITACT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FITACT_ACQUIRE(...) \
+  FITACT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FITACT_RELEASE(...) \
+  FITACT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FITACT_TRY_ACQUIRE(...) \
+  FITACT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FITACT_EXCLUDES(...) \
+  FITACT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FITACT_ASSERT_CAPABILITY(x) \
+  FITACT_THREAD_ANNOTATION(assert_capability(x))
+#define FITACT_RETURN_CAPABILITY(x) FITACT_THREAD_ANNOTATION(lock_returned(x))
+#define FITACT_NO_THREAD_SAFETY_ANALYSIS \
+  FITACT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace fitact::ut {
+
+/// std::mutex with the `capability` attribute, so members can be declared
+/// FITACT_GUARDED_BY(mutex_) and functions FITACT_REQUIRES(mutex_).
+class FITACT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FITACT_ACQUIRE() { m_.lock(); }
+  void unlock() FITACT_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() FITACT_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock over ut::Mutex (std::lock_guard shape). SCOPED_CAPABILITY
+/// tells the analysis the mutex is held from construction to destruction,
+/// including on exception unwind.
+class FITACT_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) FITACT_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() FITACT_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable that waits on ut::Mutex directly (BasicLockable), so
+/// callers keep one capability across the wait. The analysis models wait()
+/// as "mutex held throughout", which matches the contract the caller sees:
+/// wait reacquires the mutex before returning.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& m) FITACT_REQUIRES(m) { cv_.wait(m); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& m, const std::chrono::time_point<Clock, Duration>& deadline)
+      FITACT_REQUIRES(m) {
+    return cv_.wait_until(m, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& m,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      FITACT_REQUIRES(m) {
+    return cv_.wait_for(m, timeout);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace fitact::ut

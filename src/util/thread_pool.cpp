@@ -23,6 +23,29 @@ struct InWorkerScope {
   InWorkerScope(const InWorkerScope&) = delete;
   InWorkerScope& operator=(const InWorkerScope&) = delete;
 };
+
+// Join-point shared by the fan-out entry points: chunks decrement pending
+// under m and the calling thread blocks until it reaches zero. Guarded
+// members are initialised in the constructor (which the thread-safety
+// analysis exempts) before the struct is shared with any worker.
+struct Sync {
+  explicit Sync(std::size_t p) : pending(p) {}
+  Mutex m;
+  CondVar done;
+  std::size_t pending FITACT_GUARDED_BY(m);
+
+  void finish_one() FITACT_EXCLUDES(m) {
+    {
+      const LockGuard lock(m);
+      --pending;
+    }
+    done.notify_one();
+  }
+  void wait_all() FITACT_EXCLUDES(m) {
+    const LockGuard lock(m);
+    while (pending != 0) done.wait(m);
+  }
+};
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -35,7 +58,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -46,8 +69,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      const LockGuard lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -59,7 +82,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const LockGuard lock(mutex_);
     tasks_.push(std::move(task));
   }
   cv_.notify_one();
@@ -81,29 +104,17 @@ void ThreadPool::parallel_for(
   }
   const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
 
-  struct Sync {
-    std::mutex m;
-    std::condition_variable done;
-    std::size_t pending = 0;
-  };
-  auto sync = std::make_shared<Sync>();
-  sync->pending = num_chunks - 1;
-
+  auto sync = std::make_shared<Sync>(num_chunks - 1);
   for (std::size_t c = 1; c < num_chunks; ++c) {
     const std::size_t b = begin + c * chunk;
     const std::size_t e = std::min(end, b + chunk);
     if (b >= e) {
-      const std::lock_guard<std::mutex> lock(sync->m);
-      --sync->pending;
+      sync->finish_one();
       continue;
     }
     enqueue([fn, b, e, sync] {
       fn(b, e);
-      {
-        const std::lock_guard<std::mutex> lock(sync->m);
-        --sync->pending;
-      }
-      sync->done.notify_one();
+      sync->finish_one();
     });
   }
   // The calling thread executes the first chunk itself, flagged as pool
@@ -113,9 +124,7 @@ void ThreadPool::parallel_for(
     const InWorkerScope scope;
     fn(begin, std::min(end, begin + chunk));
   }
-
-  std::unique_lock<std::mutex> lock(sync->m);
-  sync->done.wait(lock, [&] { return sync->pending == 0; });
+  sync->wait_all();
 }
 
 void ThreadPool::parallel_for_slotted(
@@ -129,12 +138,13 @@ void ThreadPool::parallel_for_slotted(
   // std::terminate, and a throw on the calling thread would return from
   // parallel_for while enqueued chunks still reference this frame.
   struct State {
-    std::mutex m;
-    std::vector<std::size_t> free;
-    std::size_t next = 0;
-    std::exception_ptr error;
-    std::size_t acquire() {
-      const std::lock_guard<std::mutex> lock(m);
+    Mutex m;
+    std::vector<std::size_t> free FITACT_GUARDED_BY(m);
+    std::size_t next FITACT_GUARDED_BY(m) = 0;
+    std::exception_ptr error FITACT_GUARDED_BY(m);
+
+    std::size_t acquire() FITACT_EXCLUDES(m) {
+      const LockGuard lock(m);
       if (!free.empty()) {
         const std::size_t s = free.back();
         free.pop_back();
@@ -142,9 +152,17 @@ void ThreadPool::parallel_for_slotted(
       }
       return next++;
     }
-    void release(std::size_t s) {
-      const std::lock_guard<std::mutex> lock(m);
+    void release(std::size_t s) FITACT_EXCLUDES(m) {
+      const LockGuard lock(m);
       free.push_back(s);
+    }
+    void record_error() FITACT_EXCLUDES(m) {
+      const LockGuard lock(m);
+      if (!error) error = std::current_exception();
+    }
+    std::exception_ptr take_error() FITACT_EXCLUDES(m) {
+      const LockGuard lock(m);
+      return error;
     }
   };
   auto state = std::make_shared<State>();
@@ -153,12 +171,15 @@ void ThreadPool::parallel_for_slotted(
     try {
       fn(slot, b, e);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(state->m);
-      if (!state->error) state->error = std::current_exception();
+      state->record_error();
     }
     state->release(slot);
   });
-  if (state->error) std::rethrow_exception(state->error);
+  // parallel_for has joined every chunk, but take the lock anyway: it costs
+  // nothing uncontended and keeps the guarded-by contract unconditional.
+  if (const std::exception_ptr error = state->take_error()) {
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::parallel_for_each(std::size_t begin, std::size_t end,
@@ -180,36 +201,28 @@ void ThreadPool::parallel_for_each(std::size_t begin, std::size_t end,
     }
   };
 
-  struct Sync {
-    std::mutex m;
-    std::condition_variable done;
-    std::size_t pending = 0;
-  };
-  auto sync = std::make_shared<Sync>();
   const std::size_t helpers =
       std::min(workers_.size(), (end - begin + grain - 1) / grain);
-  sync->pending = helpers;
+  auto sync = std::make_shared<Sync>(helpers);
   for (std::size_t c = 0; c < helpers; ++c) {
     enqueue([worker, sync] {
       worker();
-      {
-        const std::lock_guard<std::mutex> lock(sync->m);
-        --sync->pending;
-      }
-      sync->done.notify_one();
+      sync->finish_one();
     });
   }
   {
     const InWorkerScope scope;
     worker();
   }
-  std::unique_lock<std::mutex> lock(sync->m);
-  sync->done.wait(lock, [&] { return sync->pending == 0; });
+  sync->wait_all();
 }
 
 namespace {
-std::size_t& global_threads_setting() {
-  static std::size_t n = 0;  // 0 = auto
+// Atomic for TSan hygiene: a misuse that calls set_global_threads while
+// another thread races global_pool() is still a logic error (the setting
+// may be ignored), but must not read as a data race.
+std::atomic<std::size_t>& global_threads_setting() {
+  static std::atomic<std::size_t> n{0};  // 0 = auto
   return n;
 }
 }  // namespace
@@ -220,13 +233,14 @@ std::size_t default_thread_count() noexcept {
 }
 
 std::size_t set_global_threads(std::size_t n) {
-  global_threads_setting() = n;
+  global_threads_setting().store(n, std::memory_order_relaxed);
   return n == 0 ? default_thread_count() : n;
 }
 
 ThreadPool& global_pool() {
   static ThreadPool pool([] {
-    const std::size_t n = global_threads_setting();
+    const std::size_t n =
+        global_threads_setting().load(std::memory_order_relaxed);
     return n > 0 ? n : default_thread_count();
   }());
   return pool;

@@ -7,15 +7,20 @@
 // instead constructs its own ThreadPool sized to CampaignConfig::threads,
 // one lane per model replica; nested kernel parallel_for calls from inside
 // those lanes run inline (see tl_in_worker in thread_pool.cpp).
+//
+// Locking discipline (machine-checked under clang -Wthread-safety, see
+// util/thread_annotations.h): the task queue and the stop flag are guarded
+// by mutex_; workers_ is immutable once the constructor returns and needs
+// no lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace fitact::ut {
 
@@ -55,13 +60,13 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void enqueue(std::function<void()> task);
+  void enqueue(std::function<void()> task) FITACT_EXCLUDES(mutex_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  std::vector<std::thread> workers_;  ///< immutable after construction
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ FITACT_GUARDED_BY(mutex_);
+  bool stop_ FITACT_GUARDED_BY(mutex_) = false;
 };
 
 /// Default worker count for "use every hardware thread" requests: the
