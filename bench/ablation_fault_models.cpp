@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/activation.h"
+#include "eval/campaign_cli.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "fault/campaign.h"
@@ -32,11 +33,12 @@
 int main(int argc, char** argv) {
   using namespace fitact;
   const ut::Cli cli(argc, argv);
-  ev::ExperimentScale scale = ev::ExperimentScale::scaled();
-  scale.train_size = cli.get_int("train-size", 640);
-  scale.train_epochs = cli.get_int("epochs", 12);
-  scale.trials = cli.get_int("trials", 10);
-  scale.campaign_threads = cli.get_count("threads", 1);
+  ev::CampaignCliDefaults defaults;
+  defaults.train_size = 640;
+  defaults.train_epochs = 12;
+  defaults.trials = 10;
+  defaults.allow_full = false;
+  const ev::ExperimentScale scale = ev::scale_from_cli(cli, defaults);
   const std::string model_name = cli.get("model", "tinycnn");
   // Stress rate: high enough that the unprotected model collapses, so the
   // protections separate clearly at modest trial counts.

@@ -13,6 +13,7 @@
 #include "core/bound_profiler.h"
 #include "core/post_training.h"
 #include "core/protection.h"
+#include "eval/campaign_cli.h"
 #include "eval/experiment.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -22,11 +23,7 @@
 int main(int argc, char** argv) {
   using namespace fitact;
   const ut::Cli cli(argc, argv);
-  ev::ExperimentScale scale = cli.get_flag("full")
-                                  ? ev::ExperimentScale::full()
-                                  : ev::ExperimentScale::scaled();
-  if (cli.has("trials")) scale.trials = cli.get_int("trials", scale.trials);
-  scale.campaign_threads = cli.get_count("threads", 1);
+  const ev::ExperimentScale scale = ev::scale_from_cli(cli);
   const std::string model_name = cli.get("model", "vgg16");
   ut::set_log_level(ut::LogLevel::warn);
 

@@ -14,6 +14,7 @@
 #include "autograd/ops.h"
 #include "core/post_training.h"
 #include "core/protection.h"
+#include "eval/campaign_cli.h"
 #include "eval/experiment.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -42,10 +43,10 @@ double max_deviation_from_naive(float k, float lambda) {
 
 int main(int argc, char** argv) {
   const ut::Cli cli(argc, argv);
-  ev::ExperimentScale scale = ev::ExperimentScale::scaled();
-  if (cli.has("trials")) scale.trials = cli.get_int("trials", scale.trials);
-  scale.campaign_threads = cli.get_count("threads", 1);
-  scale.train_size = cli.get_int("train-size", 512);
+  ev::CampaignCliDefaults defaults;
+  defaults.train_size = 512;
+  defaults.allow_full = false;
+  const ev::ExperimentScale scale = ev::scale_from_cli(cli, defaults);
   const std::string model_name = cli.get("model", "tinycnn");
   ut::set_log_level(ut::LogLevel::warn);
 

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <string>
 
+#include "eval/campaign_cli.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "fault/injector.h"
@@ -24,11 +25,14 @@
 int main(int argc, char** argv) {
   using namespace fitact;
   const ut::Cli cli(argc, argv);
-  ev::ExperimentScale scale = ev::ExperimentScale::scaled();
-  scale.train_size = cli.get_int("train-size", 640);
-  scale.train_epochs = cli.get_int("epochs", 12);
+  ev::CampaignCliDefaults defaults;
+  defaults.train_size = 640;
+  defaults.train_epochs = 12;
+  defaults.trials = 4;
+  defaults.allow_full = false;
+  const ev::ExperimentScale scale = ev::scale_from_cli(cli, defaults);
   const std::string model_name = cli.get("model", "tinycnn");
-  const std::int64_t trials = cli.get_int("trials", 4);
+  const std::int64_t trials = scale.trials;
   ut::set_log_level(ut::LogLevel::warn);
 
   ev::PreparedModel pm =

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "eval/campaign_cli.h"
 #include "eval/experiment.h"
 #include "eval/stats.h"
 #include "util/cli.h"
@@ -31,15 +32,7 @@
 int main(int argc, char** argv) {
   using namespace fitact;
   const ut::Cli cli(argc, argv);
-  ev::ExperimentScale scale = cli.get_flag("full")
-                                  ? ev::ExperimentScale::full()
-                                  : ev::ExperimentScale::scaled();
-  if (cli.has("trials")) scale.trials = cli.get_int("trials", scale.trials);
-  scale.campaign_threads = cli.get_count("threads", 1);
-  scale.train_size = cli.get_int("train-size", scale.train_size);
-  scale.test_size = cli.get_int("test-size", scale.test_size);
-  scale.train_epochs = cli.get_int("epochs", scale.train_epochs);
-  scale.eval_samples = cli.get_int("eval-samples", scale.eval_samples);
+  const ev::ExperimentScale scale = ev::scale_from_cli(cli);
   ut::set_log_level(ut::LogLevel::warn);
 
   ev::PreparedModel pm = ev::prepare_model("vgg16", 10, scale, "fitact_cache");

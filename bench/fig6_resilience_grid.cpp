@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "eval/campaign_cli.h"
 #include "eval/experiment.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -38,11 +39,7 @@ std::vector<std::string> split_csv_list(const std::string& s) {
 int main(int argc, char** argv) {
   using namespace fitact;
   const ut::Cli cli(argc, argv);
-  ev::ExperimentScale scale = cli.get_flag("full")
-                                  ? ev::ExperimentScale::full()
-                                  : ev::ExperimentScale::scaled();
-  if (cli.has("trials")) scale.trials = cli.get_int("trials", scale.trials);
-  scale.campaign_threads = cli.get_count("threads", 1);
+  const ev::ExperimentScale scale = ev::scale_from_cli(cli);
   ut::set_log_level(ut::LogLevel::warn);
 
   const auto models =

@@ -3,13 +3,19 @@
 // Table I's runtime overhead), the fixed-point codec, and fault injection.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <memory>
+
 #include "autograd/ops.h"
 #include "autograd/variable.h"
 #include "core/activation.h"
+#include "core/protection.h"
+#include "models/registry.h"
 #include "quant/fixed_point.h"
 #include "quant/param_image.h"
 #include "fault/injector.h"
 #include "nn/layers.h"
+#include "nn/plan.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -89,6 +95,57 @@ BENCHMARK(BM_ActivationClipAct);
 BENCHMARK(BM_ActivationRanger);
 BENCHMARK(BM_ActivationFitReluNaive);
 BENCHMARK(BM_ActivationFitRelu);
+
+// Whole-model inference A/B: the eager forward (fresh tensors per op, graph
+// bookkeeping) vs the recorded plan (pre-planned arena, zero steady-state
+// allocations) on the same protected tinycnn — the per-forward cost the
+// serving lanes pay on each micro-batch. Arg = batch size.
+std::shared_ptr<nn::Module> protected_tinycnn() {
+  models::ModelConfig cfg;
+  cfg.num_classes = 10;
+  cfg.seed = 7;
+  auto model = models::make_tinycnn(cfg);
+  model->set_training(false);
+  const auto sites = core::collect_activations(*model);
+  for (const auto& site : sites) site->set_profiling(true);
+  ut::Rng rng(8);
+  const NoGradGuard no_grad;
+  (void)model->forward(Variable(Tensor::randn(Shape{2, 3, 32, 32}, rng),
+                                false));
+  for (const auto& site : sites) site->set_profiling(false);
+  core::apply_protection(*model, core::Scheme::clip_act);
+  return model;
+}
+
+void BM_ModelForwardEager(benchmark::State& state) {
+  const auto batch = state.range(0);
+  const auto model = protected_tinycnn();
+  ut::Rng rng(9);
+  const Variable x(Tensor::randn(Shape{batch, 3, 32, 32}, rng), false);
+  const NoGradGuard no_grad;
+  for (auto _ : state) {
+    const Variable y = model->forward(x);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ModelForwardEager)->Arg(1)->Arg(8);
+
+void BM_ModelForwardPlanned(benchmark::State& state) {
+  const auto batch = state.range(0);
+  const auto model = protected_tinycnn();
+  const auto plan = nn::InferencePlan::compile(model, Shape{3, 32, 32}, 8);
+  ut::Rng rng(9);
+  const Tensor x = Tensor::randn(Shape{batch, 3, 32, 32}, rng);
+  std::memcpy(plan->input_view(batch).data(), x.data(),
+              sizeof(float) * static_cast<std::size_t>(x.numel()));
+  for (auto _ : state) {
+    const Tensor& y = plan->execute(batch);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ModelForwardPlanned)->Arg(1)->Arg(8);
 
 void BM_FixedPointEncode(benchmark::State& state) {
   ut::Rng rng(4);

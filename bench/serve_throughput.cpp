@@ -10,11 +10,16 @@
 //   3. batched  — the server at the configured batch size and lane count,
 //                 all requests in flight at once (micro-batched serving).
 // The headline number is batched/single throughput — what micro-batching
-// buys. A fourth phase replays the batched load while periodically
-// corrupting a lane's live parameters (deterministic bit flips at a high
-// integer bit) and reports detection coverage: how many injections the
-// clamp-rate detector caught, and how many requests were answered with
-// outputs that differ from the clean model's.
+// buys. The batched phase runs twice — once on the recorded-plan execution
+// path (the default) and once with plans disabled (eager per-op tensor
+// allocation) — and counts global operator new calls per request for each;
+// the planned/eager throughput ratio and the allocation counts land in the
+// CSV as the CI bench-smoke artifact. A final phase replays the batched
+// load while periodically corrupting a lane's live parameters
+// (deterministic bit flips at a high integer bit) and reports detection
+// coverage: how many injections the clamp-rate detector caught, and how
+// many requests were answered with outputs that differ from the clean
+// model's.
 //
 // Usage: serve_throughput [--model tinycnn] [--classes 10] [--width 1.0]
 //          [--requests 256] [--batch 8] [--lanes 0] [--window-us 200]
@@ -24,12 +29,16 @@
 // --min-speedup S exits non-zero when the micro-batching speedup lands
 // below S (CI gate; 0 disables).
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "eval/campaign_cli.h"
 #include "eval/experiment.h"
 #include "eval/serving.h"
 #include "fault/injector.h"
@@ -45,11 +54,25 @@
 
 namespace {
 
+// Process-wide allocation counter: the replaced global operator new below
+// bumps it on every heap allocation. The batched phases report the delta
+// per request for the planned vs eager execution paths — the number the CI
+// bench-smoke lane archives to pin the planned path's allocation behaviour.
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* fitact_counted_malloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
 struct PhaseReport {
   double wall_ms = 0.0;
   double req_per_s = 0.0;
   double mean_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  double allocs_per_req = -1.0;  // < 0: not measured for this phase
 };
 
 PhaseReport summarize(double wall_ms, std::vector<double> latencies) {
@@ -68,6 +91,17 @@ PhaseReport summarize(double wall_ms, std::vector<double> latencies) {
 }
 
 }  // namespace
+
+// Counting replacements for the usual global allocation functions. Only the
+// unaligned forms are replaced; over-aligned allocations fall through to the
+// default aligned operator new and go uncounted, which is fine for a
+// comparative A/B figure.
+void* operator new(std::size_t size) { return fitact_counted_malloc(size); }
+void* operator new[](std::size_t size) { return fitact_counted_malloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 int main(int argc, char** argv) {
   using namespace fitact;
@@ -90,10 +124,14 @@ int main(int argc, char** argv) {
   const std::string scheme_name = cli.get("scheme", "clip_act");
   ut::set_log_level(ut::LogLevel::warn);
 
-  ev::ExperimentScale scale = ev::ExperimentScale::scaled();
-  scale.train_size = cli.get_int("train-size", 96);
-  scale.test_size = std::max<std::int64_t>(64, scale.train_size / 2);
-  scale.train_epochs = cli.get_int("epochs", 2);
+  ev::CampaignCliDefaults defaults;
+  defaults.train_size = 96;
+  defaults.train_epochs = 2;
+  defaults.allow_full = false;
+  ev::ExperimentScale scale = ev::scale_from_cli(cli, defaults);
+  if (!cli.has("test-size")) {
+    scale.test_size = std::max<std::int64_t>(64, scale.train_size / 2);
+  }
   if (cli.has("width")) {
     const auto width = static_cast<float>(cli.get_double("width", 1.0));
     scale.width_alexnet = width;
@@ -178,26 +216,53 @@ int main(int argc, char** argv) {
     single = summarize(wall.elapsed_ms(), std::move(latencies));
   }
 
-  // Phase 3: micro-batched serving — everything in flight at once.
-  PhaseReport batched;
-  {
-    const auto server = ev::make_server(pm, base);
+  // Phase 3: micro-batched serving — everything in flight at once. Run on
+  // both execution paths: recorded plans (default) and eager forward
+  // (options.server.plan = false). Each run counts heap allocations per
+  // request; the count covers the whole serving layer (futures, queue
+  // nodes), so the planned path is small-but-nonzero while the eager path
+  // adds every per-op tensor allocation on top.
+  const auto run_batched = [&](const ev::ServeOptions& options) {
+    const auto server = ev::make_server(pm, options);
+    // Warm-up wave: the first batches pay one-time lazy costs (worker
+    // spin-up, thread-local pack buffers) that are not steady state.
+    {
+      const std::size_t n = std::min<std::size_t>(
+          samples.size(), static_cast<std::size_t>(batch));
+      std::vector<std::future<serve::RequestResult>> warm;
+      warm.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        warm.push_back(server->submit(samples[i]));
+      }
+      for (auto& f : warm) (void)f.get();
+    }
     std::vector<std::future<serve::RequestResult>> futures;
     futures.reserve(samples.size());
-    ut::Timer wall;
+    std::vector<double> latencies;
+    latencies.reserve(samples.size());
     std::vector<ut::Timer> submit_time(samples.size());
+    const std::uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    ut::Timer wall;
     for (std::size_t i = 0; i < samples.size(); ++i) {
       submit_time[i].reset();
       futures.push_back(server->submit(samples[i]));
     }
-    std::vector<double> latencies;
-    latencies.reserve(samples.size());
     for (std::size_t i = 0; i < samples.size(); ++i) {
       (void)futures[i].get();
       latencies.push_back(submit_time[i].elapsed_ms());
     }
-    batched = summarize(wall.elapsed_ms(), std::move(latencies));
-  }
+    PhaseReport r = summarize(wall.elapsed_ms(), std::move(latencies));
+    r.allocs_per_req =
+        static_cast<double>(g_alloc_count.load(std::memory_order_relaxed) -
+                            allocs_before) /
+        static_cast<double>(samples.size());
+    return r;
+  };
+  const PhaseReport batched = run_batched(base);
+  ev::ServeOptions eager_options = base;
+  eager_options.server.plan = false;
+  const PhaseReport eager_batched = run_batched(eager_options);
 
   // Phase 4: batched load with live fault injection every `inject_every`
   // waves of `batch` requests, closed-loop — each wave's futures are
@@ -255,22 +320,33 @@ int main(int argc, char** argv) {
                      : 0.0;
 
   ut::TextTable table({"phase", "wall ms", "req/s", "mean lat ms",
-                       "p95 lat ms"});
+                       "p95 lat ms", "allocs/req"});
   const auto row = [&](const std::string& name, const PhaseReport& r,
                        bool lat) {
     table.row({name, ut::TextTable::fixed(r.wall_ms, 1),
                ut::TextTable::fixed(r.req_per_s, 1),
                lat ? ut::TextTable::fixed(r.mean_latency_ms, 2) : "-",
-               lat ? ut::TextTable::fixed(r.p95_latency_ms, 2) : "-"});
+               lat ? ut::TextTable::fixed(r.p95_latency_ms, 2) : "-",
+               r.allocs_per_req >= 0.0
+                   ? ut::TextTable::fixed(r.allocs_per_req, 1)
+                   : "-"});
   };
   row("direct forward", direct, true);
   row("server, single-request", single, true);
-  row("server, micro-batched", batched, true);
+  row("server, micro-batched (planned)", batched, true);
+  row("server, micro-batched (eager)", eager_batched, true);
   row("micro-batched + injection", injected, false);
   table.print();
 
+  const double plan_speedup = eager_batched.req_per_s > 0.0
+                                  ? batched.req_per_s / eager_batched.req_per_s
+                                  : 0.0;
   std::printf("\nmicrobatch_speedup: %.2fx (batched vs single-request)\n",
               speedup);
+  std::printf("plan_speedup: %.2fx (planned vs eager micro-batched); "
+              "allocs/request planned %.1f, eager %.1f\n",
+              plan_speedup, batched.allocs_per_req,
+              eager_batched.allocs_per_req);
   std::printf("injections: %llu  detections: %llu  recoveries: %llu  "
               "coverage: %.0f%%\n",
               static_cast<unsigned long long>(injections),
@@ -294,9 +370,13 @@ int main(int argc, char** argv) {
   csv_row("direct", direct, true);
   csv_row("single", single, true);
   csv_row("batched", batched, true);
+  csv_row("batched_eager", eager_batched, true);
   // Per-request latency is not measured in the closed-loop injection phase.
   csv_row("injected", injected, false);
   csv.row({"speedup", ut::CsvWriter::num(speedup), "", "", ""});
+  csv.row({"plan_speedup", ut::CsvWriter::num(plan_speedup), "", "", ""});
+  csv.row({"allocs_per_request", ut::CsvWriter::num(batched.allocs_per_req),
+           ut::CsvWriter::num(eager_batched.allocs_per_req), "", ""});
   csv.row({"detection_coverage", ut::CsvWriter::num(coverage),
            ut::CsvWriter::num(static_cast<double>(injections)),
            ut::CsvWriter::num(static_cast<double>(inj_stats.detections)),

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "eval/campaign_cli.h"
 #include "eval/experiment.h"
 #include "eval/stats.h"
 #include "util/cli.h"
@@ -36,12 +37,13 @@ int main(int argc, char** argv) {
   const std::string model_name = cli.get("model", "tinycnn");
   const core::Scheme scheme = parse_scheme(cli.get("scheme", "fitact"));
 
-  ev::ExperimentScale scale = ev::ExperimentScale::scaled();
-  scale.train_size = cli.get_int("train-size", 512);
-  scale.train_epochs = cli.get_int("epochs", 6);
-  scale.eval_samples = cli.get_int("eval-samples", 96);
-  scale.trials = cli.get_int("trials", 6);
-  scale.campaign_threads = cli.get_count("threads", 1);
+  ev::CampaignCliDefaults defaults;
+  defaults.train_size = 512;
+  defaults.train_epochs = 6;
+  defaults.eval_samples = 96;
+  defaults.trials = 6;
+  defaults.allow_full = false;
+  const ev::ExperimentScale scale = ev::scale_from_cli(cli, defaults);
 
   ev::PreparedModel pm =
       ev::prepare_model(model_name, cli.get_int("classes", 10), scale,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/activation.h"
+#include "eval/campaign_cli.h"
 #include "eval/experiment.h"
 #include "quant/param_image.h"
 #include "util/cli.h"
@@ -24,16 +25,17 @@ int main(int argc, char** argv) {
   const std::string model_name = cli.get("model", "vgg16");
   const std::int64_t classes = cli.get_int("classes", 10);
 
-  ev::ExperimentScale scale = ev::ExperimentScale::scaled();
+  ev::CampaignCliDefaults defaults;
+  defaults.train_size = 768;
+  defaults.train_epochs = 5;
+  defaults.eval_samples = 64;
+  defaults.trials = 4;
+  defaults.allow_full = false;
+  ev::ExperimentScale scale = ev::scale_from_cli(cli, defaults);
   if (cli.has("width")) {
     const auto w = static_cast<float>(cli.get_double("width", 0.125));
     scale.width_alexnet = scale.width_vgg16 = scale.width_resnet50 = w;
   }
-  scale.train_size = cli.get_int("train-size", 768);
-  scale.train_epochs = cli.get_int("epochs", 5);
-  scale.eval_samples = cli.get_int("eval-samples", 64);
-  scale.trials = cli.get_int("trials", 4);
-  scale.campaign_threads = cli.get_count("threads", 1);
 
   std::printf("Preparing %s (classes=%lld) for resilient deployment...\n\n",
               model_name.c_str(), static_cast<long long>(classes));

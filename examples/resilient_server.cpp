@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   options.server.max_batch = batch;
   const auto server = ev::make_server(pm, options);
   std::printf("   clamp-rate threshold %.4f\n",
-              server->config().clamp_rate_threshold);
+              server->options().clamp_rate_threshold);
 
   // 3. Clean traffic.
   std::vector<Tensor> samples;

@@ -1,0 +1,275 @@
+// Forward compute kernels shared by the eager autograd ops (autograd/ops.cpp)
+// and the recorded inference plans (nn/plan.cpp).
+//
+// The serving layer promises bit-identical per-request outputs no matter how
+// a batch was assembled or executed (serve/server.h "output contract"), and
+// the planned-execution path extends that promise to "no matter whether the
+// lane ran eagerly or through its plan". The only way to keep two execution
+// engines bit-identical under refactoring is for them to run the *same*
+// arithmetic, so every forward inner loop lives here, inline, and both
+// engines call it. Each kernel computes one sample row (or the whole batch)
+// with a fixed per-element accumulation order independent of batch size and
+// thread count.
+//
+// Kernels write through raw pointers (eager ops pass freshly allocated
+// Tensors, plans pass arena offsets) and never allocate.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/gemm.h"
+#include "tensor/shape.h"
+#include "tensor/tensor_ops.h"
+
+namespace fitact::ag {
+
+/// What a bounded activation does with values above the bound.
+enum class ClipMode {
+  zero_above,  ///< x > bound -> 0        (Clip-Act / GBReLU, paper Eq. 4)
+  saturate,    ///< x > bound -> bound    (Ranger-style range restriction)
+};
+
+inline float stable_sigmoid(float x) noexcept {
+  if (x >= 0.0f) {
+    return 1.0f / (1.0f + std::exp(-x));
+  }
+  const float e = std::exp(x);
+  return e / (1.0f + e);
+}
+
+/// Maps a per-sample flat feature index to a bound index for the three
+/// supported bound extents (layer / channel / neuron).
+struct FeatureBroadcast {
+  std::int64_t feat = 0;      // features per sample
+  std::int64_t hw = 1;        // spatial size (1 for FC)
+  std::int64_t channels = 0;  // channel count (== feat for FC)
+
+  static FeatureBroadcast of(const Shape& xs) {
+    FeatureBroadcast fb;
+    if (xs.rank() == 2) {
+      fb.feat = xs[1];
+      fb.hw = 1;
+      fb.channels = xs[1];
+    } else if (xs.rank() == 4) {
+      fb.feat = xs[1] * xs[2] * xs[3];
+      fb.hw = xs[2] * xs[3];
+      fb.channels = xs[1];
+    } else {
+      throw std::invalid_argument(
+          "bounded activation expects rank-2 or rank-4 input, got " +
+          xs.str());
+    }
+    return fb;
+  }
+
+  void validate_bound(std::int64_t bound_numel) const {
+    if (bound_numel != 1 && bound_numel != channels && bound_numel != feat) {
+      throw std::invalid_argument(
+          "bound numel " + std::to_string(bound_numel) +
+          " incompatible with feature extent " + std::to_string(feat) +
+          " (expect 1, C=" + std::to_string(channels) + " or " +
+          std::to_string(feat) + ")");
+    }
+  }
+
+  [[nodiscard]] std::int64_t map(std::int64_t fi,
+                                 std::int64_t bound_numel) const noexcept {
+    if (bound_numel == feat) return fi;
+    if (bound_numel == 1) return 0;
+    return fi / hw;  // per-channel
+  }
+};
+
+// ---- elementwise -----------------------------------------------------------
+
+inline void relu_forward(const float* x, float* o, std::int64_t n) noexcept {
+  for (std::int64_t i = 0; i < n; ++i) o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+inline void add_forward(const float* a, const float* b, float* o,
+                        std::int64_t n) noexcept {
+  for (std::int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+}
+
+/// Bounded ReLU over n contiguous elements (any number of batch rows).
+/// When `count` is set, also returns the number of inputs strictly above
+/// their bound — the clamp-event statistic BoundedActivation feeds the
+/// serve-time fault detector — fused into the same pass over the data.
+/// Counting never changes the computed output.
+inline std::uint64_t clipped_relu_forward(const float* x, const float* bound,
+                                          std::int64_t bound_numel,
+                                          const FeatureBroadcast& fb,
+                                          ClipMode mode, float* o,
+                                          std::int64_t n,
+                                          bool count = false) noexcept {
+  std::uint64_t events = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float xi = x[i];
+    const float bi = bound[fb.map(i % fb.feat, bound_numel)];
+    if (count) events += xi > bi;
+    if (xi <= 0.0f) {
+      o[i] = 0.0f;
+    } else if (xi <= bi) {
+      o[i] = xi;
+    } else {
+      o[i] = (mode == ClipMode::zero_above) ? 0.0f : bi;
+    }
+  }
+  return events;
+}
+
+/// Trainable FitReLU forward (paper Eq. 6): y = max(0, x*sigmoid(k*(l-x))).
+/// Clamp counting fuses in exactly as for clipped_relu_forward.
+inline std::uint64_t fitrelu_forward(const float* x, const float* lambda,
+                                     std::int64_t lambda_numel,
+                                     const FeatureBroadcast& fb, float k,
+                                     float* o, std::int64_t n,
+                                     bool count = false) noexcept {
+  std::uint64_t events = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float xi = x[i];
+    const float li = lambda[fb.map(i % fb.feat, lambda_numel)];
+    if (count) events += xi > li;
+    if (xi <= 0.0f) {
+      o[i] = 0.0f;
+      continue;
+    }
+    o[i] = xi * stable_sigmoid(k * (li - xi));
+  }
+  return events;
+}
+
+// ---- linear algebra --------------------------------------------------------
+
+/// y[B,O] = x[B,I] * w[O,I]^T + bias. The weight is transposed into
+/// wt_scratch (I*O floats) on every call so the GEMM runs on its fast path
+/// *and* live parameter faults injected into w since the last call are
+/// honoured — plans must not cache derived weight state.
+inline void linear_forward(std::int64_t batch, std::int64_t in,
+                           std::int64_t out_f, const float* x, const float* w,
+                           const float* bias_or_null, float* wt_scratch,
+                           float* out) noexcept {
+  for (std::int64_t o = 0; o < out_f; ++o) {
+    for (std::int64_t i = 0; i < in; ++i) {
+      wt_scratch[i * out_f + o] = w[o * in + i];
+    }
+  }
+  sgemm(false, false, batch, out_f, in, 1.0f, x, in, wt_scratch, out_f, 0.0f,
+        out, out_f);
+  if (bias_or_null != nullptr) {
+    for (std::int64_t r = 0; r < batch; ++r) {
+      float* row = out + r * out_f;
+      for (std::int64_t o = 0; o < out_f; ++o) row[o] += bias_or_null[o];
+    }
+  }
+}
+
+/// One sample of a conv2d forward: im2col into col_scratch
+/// (col_rows()*col_cols() floats), one GEMM, bias row-add. Batch rows are
+/// independent, so callers pick the batch strategy (the eager op fans rows
+/// over the thread pool, plans run them serially in-lane) without touching
+/// the arithmetic.
+inline void conv2d_forward_sample(const Conv2dGeometry& geo, std::int64_t out_c,
+                                  const float* x_sample, const float* w,
+                                  const float* bias_or_null, float* col_scratch,
+                                  float* out_sample) noexcept {
+  const std::int64_t ckk = geo.col_rows();
+  const std::int64_t ohw = geo.col_cols();
+  im2col(geo, x_sample, col_scratch);
+  sgemm(false, false, out_c, ohw, ckk, 1.0f, w, ckk, col_scratch, ohw, 0.0f,
+        out_sample, ohw);
+  if (bias_or_null != nullptr) {
+    for (std::int64_t c = 0; c < out_c; ++c) {
+      float* row = out_sample + c * ohw;
+      const float bc = bias_or_null[c];
+      for (std::int64_t i = 0; i < ohw; ++i) row[i] += bc;
+    }
+  }
+}
+
+// ---- normalisation / pooling ----------------------------------------------
+
+/// One (sample, channel) plane of the batch-norm affine map. Training and
+/// eval forwards differ only in where mu/invstd come from; both funnel here.
+inline void bn_plane_forward(const float* x, float* o, std::int64_t hw,
+                             float mu, float invstd, float gamma,
+                             float beta) noexcept {
+  for (std::int64_t i = 0; i < hw; ++i) {
+    o[i] = (x[i] - mu) * invstd * gamma + beta;
+  }
+}
+
+/// Eval-mode batch norm over [B,C,H,W] from running statistics.
+inline void batch_norm2d_eval_forward(std::int64_t batch, std::int64_t ch,
+                                      std::int64_t hw, const float* x,
+                                      const float* gamma, const float* beta,
+                                      const float* running_mean,
+                                      const float* running_var, float eps,
+                                      float* out) noexcept {
+  const std::int64_t plane = ch * hw;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float mu = running_mean[c];
+      const float is = 1.0f / std::sqrt(running_var[c] + eps);
+      bn_plane_forward(x + b * plane + c * hw, out + b * plane + c * hw, hw,
+                       mu, is, gamma[c], beta[c]);
+    }
+  }
+}
+
+/// Max pooling over [B,C,H,W]. indices_or_null, when given, receives the
+/// flat input index of each output's argmax (the eager backward needs it;
+/// plans pass nullptr).
+inline void max_pool2d_forward(std::int64_t batch, std::int64_t ch,
+                               std::int64_t h, std::int64_t w,
+                               std::int64_t kernel, std::int64_t stride,
+                               const float* x, float* out,
+                               std::int64_t* indices_or_null) noexcept {
+  const std::int64_t oh = (h - kernel) / stride + 1;
+  const std::int64_t ow = (w - kernel) / stride + 1;
+  std::int64_t oi = 0;
+  for (std::int64_t b = 0; b < batch; ++b) {
+    for (std::int64_t c = 0; c < ch; ++c) {
+      const float* plane = x + (b * ch + c) * h * w;
+      const std::int64_t plane_off = (b * ch + c) * h * w;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xo = 0; xo < ow; ++xo, ++oi) {
+          const std::int64_t y0 = y * stride;
+          const std::int64_t x0 = xo * stride;
+          float best = plane[y0 * w + x0];
+          std::int64_t best_idx = y0 * w + x0;
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t idx = (y0 + ky) * w + (x0 + kx);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out[oi] = best;
+          if (indices_or_null != nullptr) {
+            indices_or_null[oi] = plane_off + best_idx;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// [B,C,H,W] -> [B,C]; double-accumulated spatial mean.
+inline void global_avg_pool_forward(std::int64_t batch, std::int64_t ch,
+                                    std::int64_t hw, const float* x,
+                                    float* out) noexcept {
+  for (std::int64_t bc = 0; bc < batch * ch; ++bc) {
+    double acc = 0.0;
+    const float* plane = x + bc * hw;
+    for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+    out[bc] = static_cast<float>(acc / static_cast<double>(hw));
+  }
+}
+
+}  // namespace fitact::ag

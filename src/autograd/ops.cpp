@@ -38,56 +38,8 @@ float* grad_buffer(const ImplPtr& p) {
   return p->grad.data();
 }
 
-float stable_sigmoid(float x) noexcept {
-  if (x >= 0.0f) {
-    return 1.0f / (1.0f + std::exp(-x));
-  }
-  const float e = std::exp(x);
-  return e / (1.0f + e);
-}
-
-/// Maps a per-sample flat feature index to a bound index for the three
-/// supported bound extents (layer / channel / neuron).
-struct FeatureBroadcast {
-  std::int64_t feat = 0;      // features per sample
-  std::int64_t hw = 1;        // spatial size (1 for FC)
-  std::int64_t channels = 0;  // channel count (== feat for FC)
-
-  static FeatureBroadcast of(const Shape& xs) {
-    FeatureBroadcast fb;
-    if (xs.rank() == 2) {
-      fb.feat = xs[1];
-      fb.hw = 1;
-      fb.channels = xs[1];
-    } else if (xs.rank() == 4) {
-      fb.feat = xs[1] * xs[2] * xs[3];
-      fb.hw = xs[2] * xs[3];
-      fb.channels = xs[1];
-    } else {
-      throw std::invalid_argument(
-          "bounded activation expects rank-2 or rank-4 input, got " +
-          xs.str());
-    }
-    return fb;
-  }
-
-  void validate_bound(std::int64_t bound_numel) const {
-    if (bound_numel != 1 && bound_numel != channels && bound_numel != feat) {
-      throw std::invalid_argument(
-          "bound numel " + std::to_string(bound_numel) +
-          " incompatible with feature extent " + std::to_string(feat) +
-          " (expect 1, C=" + std::to_string(channels) + " or " +
-          std::to_string(feat) + ")");
-    }
-  }
-
-  [[nodiscard]] std::int64_t map(std::int64_t fi,
-                                 std::int64_t bound_numel) const noexcept {
-    if (bound_numel == feat) return fi;
-    if (bound_numel == 1) return 0;
-    return fi / hw;  // per-channel
-  }
-};
+// stable_sigmoid and FeatureBroadcast live in autograd/op_kernels.h, shared
+// with the planned-execution engine (nn/plan.cpp).
 
 void check_rank(const Variable& v, std::size_t rank, const char* op) {
   if (v.shape().rank() != rank) {
@@ -185,28 +137,16 @@ Variable linear(const Variable& x, const Variable& w, const Variable& bias) {
                                 " incompatible with input " + x.shape().str());
   }
 
-  // Pre-transpose the weight once so the GEMM runs on its fast path.
+  if (bias.defined() && bias.numel() != out_f) {
+    throw std::invalid_argument("linear: bias extent mismatch");
+  }
+  // Weight transposed into scratch every call so the GEMM runs on its fast
+  // path (shared kernel; plans reuse it with arena scratch).
   Tensor wt(Shape{in, out_f});
-  {
-    const float* pw = w.value().data();
-    float* pt = wt.data();
-    for (std::int64_t o = 0; o < out_f; ++o) {
-      for (std::int64_t i = 0; i < in; ++i) pt[i * out_f + o] = pw[o * in + i];
-    }
-  }
   Tensor out(Shape{batch, out_f});
-  sgemm(false, false, batch, out_f, in, 1.0f, x.value().data(), in, wt.data(),
-        out_f, 0.0f, out.data(), out_f);
-  if (bias.defined()) {
-    if (bias.numel() != out_f) {
-      throw std::invalid_argument("linear: bias extent mismatch");
-    }
-    const float* pb = bias.value().data();
-    float* po = out.data();
-    for (std::int64_t r = 0; r < batch; ++r) {
-      for (std::int64_t o = 0; o < out_f; ++o) po[r * out_f + o] += pb[o];
-    }
-  }
+  linear_forward(batch, in, out_f, x.value().data(), w.value().data(),
+                 bias.defined() ? bias.value().data() : nullptr, wt.data(),
+                 out.data());
 
   const ImplPtr px = x.impl();
   const ImplPtr pw_impl = w.impl();
@@ -280,17 +220,9 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& bias,
   ut::global_pool().parallel_for_each(
       0, static_cast<std::size_t>(batch), 1, [&](std::size_t b) {
         std::vector<float> col(static_cast<std::size_t>(ckk * ohw));
-        im2col(geo, px + static_cast<std::int64_t>(b) * in_stride, col.data());
-        float* po = out.data() + static_cast<std::int64_t>(b) * out_stride;
-        sgemm(false, false, out_c, ohw, ckk, 1.0f, pw, ckk, col.data(), ohw,
-              0.0f, po, ohw);
-        if (pb != nullptr) {
-          for (std::int64_t c = 0; c < out_c; ++c) {
-            float* row = po + c * ohw;
-            const float bc = pb[c];
-            for (std::int64_t i = 0; i < ohw; ++i) row[i] += bc;
-          }
-        }
+        conv2d_forward_sample(
+            geo, out_c, px + static_cast<std::int64_t>(b) * in_stride, pw, pb,
+            col.data(), out.data() + static_cast<std::int64_t>(b) * out_stride);
       });
 
   const ImplPtr px_impl = x.impl();
@@ -366,34 +298,8 @@ Variable max_pool2d(const Variable& x, std::int64_t kernel,
   auto indices = std::make_shared<std::vector<std::int64_t>>(
       static_cast<std::size_t>(out.numel()));
 
-  const float* px = x.value().data();
-  float* po = out.data();
-  std::int64_t oi = 0;
-  for (std::int64_t b = 0; b < batch; ++b) {
-    for (std::int64_t c = 0; c < ch; ++c) {
-      const float* plane = px + (b * ch + c) * h * w;
-      const std::int64_t plane_off = (b * ch + c) * h * w;
-      for (std::int64_t y = 0; y < oh; ++y) {
-        for (std::int64_t xo = 0; xo < ow; ++xo, ++oi) {
-          const std::int64_t y0 = y * stride;
-          const std::int64_t x0 = xo * stride;
-          float best = plane[y0 * w + x0];
-          std::int64_t best_idx = y0 * w + x0;
-          for (std::int64_t ky = 0; ky < kernel; ++ky) {
-            for (std::int64_t kx = 0; kx < kernel; ++kx) {
-              const std::int64_t idx = (y0 + ky) * w + (x0 + kx);
-              if (plane[idx] > best) {
-                best = plane[idx];
-                best_idx = idx;
-              }
-            }
-          }
-          po[oi] = best;
-          (*indices)[static_cast<std::size_t>(oi)] = plane_off + best_idx;
-        }
-      }
-    }
-  }
+  max_pool2d_forward(batch, ch, h, w, kernel, stride, x.value().data(),
+                     out.data(), indices->data());
 
   const ImplPtr px_impl = x.impl();
   return Variable::from_op(std::move(out), {x},
@@ -415,13 +321,7 @@ Variable global_avg_pool(const Variable& x) {
   const std::int64_t ch = xs[1];
   const std::int64_t hw = xs[2] * xs[3];
   Tensor out(Shape{batch, ch});
-  const float* px = x.value().data();
-  for (std::int64_t bc = 0; bc < batch * ch; ++bc) {
-    double acc = 0.0;
-    const float* plane = px + bc * hw;
-    for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
-    out[bc] = static_cast<float>(acc / static_cast<double>(hw));
-  }
+  global_avg_pool_forward(batch, ch, hw, x.value().data(), out.data());
   const ImplPtr px_impl = x.impl();
   return Variable::from_op(
       std::move(out), {x}, [px_impl, hw](const Tensor& g) {
@@ -503,15 +403,8 @@ Variable batch_norm2d(const Variable& x, const Variable& gamma,
   float* po = out.data();
   for (std::int64_t b = 0; b < batch; ++b) {
     for (std::int64_t c = 0; c < ch; ++c) {
-      const float mu = mean_t[c];
-      const float is = invstd_t[c];
-      const float ga = pg[c];
-      const float be = pbeta[c];
-      const float* pi = px + b * plane + c * hw;
-      float* poo = po + b * plane + c * hw;
-      for (std::int64_t i = 0; i < hw; ++i) {
-        poo[i] = (pi[i] - mu) * is * ga + be;
-      }
+      bn_plane_forward(px + b * plane + c * hw, po + b * plane + c * hw, hw,
+                       mean_t[c], invstd_t[c], pg[c], pbeta[c]);
     }
   }
 
@@ -614,11 +507,7 @@ Variable dropout(const Variable& x, float p, bool training, ut::Rng& rng) {
 
 Variable relu(const Variable& x) {
   Tensor out(x.shape());
-  const float* px = x.value().data();
-  float* po = out.data();
-  for (std::int64_t i = 0; i < out.numel(); ++i) {
-    po[i] = px[i] > 0.0f ? px[i] : 0.0f;
-  }
+  relu_forward(x.value().data(), out.data(), out.numel());
   const ImplPtr px_impl = x.impl();
   const Tensor xv = x.value();
   return Variable::from_op(std::move(out), {x}, [px_impl, xv](const Tensor& g) {
@@ -638,21 +527,8 @@ Variable clipped_relu(const Variable& x, const Tensor& bound, ClipMode mode) {
   const std::int64_t bn = bound.numel();
 
   Tensor out(x.shape());
-  const float* px = x.value().data();
-  const float* pb = bound.data();
-  float* po = out.data();
-  const std::int64_t n = out.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float xi = px[i];
-    const float bi = pb[fb.map(i % fb.feat, bn)];
-    if (xi <= 0.0f) {
-      po[i] = 0.0f;
-    } else if (xi <= bi) {
-      po[i] = xi;
-    } else {
-      po[i] = (mode == ClipMode::zero_above) ? 0.0f : bi;
-    }
-  }
+  (void)clipped_relu_forward(x.value().data(), bound.data(), bn, fb, mode,
+                             out.data(), out.numel());
   const ImplPtr px_impl = x.impl();
   const Tensor xv = x.value();
   const Tensor bv = bound;  // shared storage; cheap
@@ -677,19 +553,8 @@ Variable fitrelu(const Variable& x, const Variable& lambda, float k) {
   const std::int64_t ln = lambda.numel();
 
   Tensor out(x.shape());
-  const float* px = x.value().data();
-  const float* pl = lambda.value().data();
-  float* po = out.data();
-  const std::int64_t n = out.numel();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float xi = px[i];
-    if (xi <= 0.0f) {
-      po[i] = 0.0f;
-      continue;
-    }
-    const float li = pl[fb.map(i % fb.feat, ln)];
-    po[i] = xi * stable_sigmoid(k * (li - xi));
-  }
+  (void)fitrelu_forward(x.value().data(), lambda.value().data(), ln, fb, k,
+                        out.data(), out.numel());
 
   const ImplPtr px_impl = x.impl();
   const ImplPtr pl_impl = lambda.impl();

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "autograd/op_kernels.h"
 #include "autograd/variable.h"
 #include "util/rng.h"
 
@@ -68,11 +69,8 @@ namespace fitact::ag {
 // ---- activations -----------------------------------------------------------
 [[nodiscard]] Variable relu(const Variable& x);
 
-/// What a bounded activation does with values above the bound.
-enum class ClipMode {
-  zero_above,  ///< x > bound -> 0        (Clip-Act / GBReLU, paper Eq. 4)
-  saturate,    ///< x > bound -> bound    (Ranger-style range restriction)
-};
+// ClipMode (what a bounded activation does above the bound) lives in
+// autograd/op_kernels.h next to the kernels that implement it.
 
 /// Non-trainable bounded ReLU with broadcastable bound (see file comment).
 /// Implements both GBReLU (Clip-Act) and Ranger, and FitReLU-Naive when

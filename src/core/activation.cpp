@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "autograd/ops.h"
+#include "nn/plan.h"
 
 namespace fitact::core {
 
@@ -178,6 +179,56 @@ void BoundedActivation::count_clamps(const Tensor& x) {
 #ifndef NDEBUG
   clamp_busy_.store(false, std::memory_order_release);
 #endif
+}
+
+void BoundedActivation::add_clamp_counts(std::uint64_t events,
+                                         std::uint64_t total) noexcept {
+#ifndef NDEBUG
+  // Same single-writer enforcement as count_clamps: overlapping deposits
+  // mean two lanes share one model (see the clamp-counting comment above).
+  const bool was_busy = clamp_busy_.exchange(true, std::memory_order_acquire);
+  assert(!was_busy &&
+         "BoundedActivation: concurrent clamp-count deposits — counting "
+         "must only be enabled on per-lane replicas, never a shared model");
+  (void)was_busy;
+#endif
+  clamp_events_ += events;
+  clamp_total_ += total;
+#ifndef NDEBUG
+  clamp_busy_.store(false, std::memory_order_release);
+#endif
+}
+
+nn::PlanValueId BoundedActivation::record(nn::PlanBuilder& builder,
+                                          nn::PlanValueId input) {
+  if (profiling_) {
+    builder.fail(
+        "BoundedActivation is in profiling mode; finish profiling and "
+        "install bounds before compiling a plan");
+  }
+  if (corruptor_) {
+    builder.fail(
+        "BoundedActivation has an input corruptor installed; plans are "
+        "clean inference programs (transient-fault ablations run eagerly)");
+  }
+  if (config_.scheme != Scheme::relu && !bounds_.defined()) {
+    builder.fail("BoundedActivation(" + to_string(config_.scheme) +
+                 "): bounds not initialised — profile and "
+                 "init_bounds_from_profile (or set_bounds) before compiling "
+                 "a plan");
+  }
+  // Lock in the feature geometry exactly as an eager forward would (the
+  // per-sample plan shape gains a synthetic batch dim of 1).
+  const Shape& xs = builder.value_shape(input);
+  if (xs.rank() == 1) {
+    observe_geometry(Shape{1, xs[0]});
+  } else if (xs.rank() == 3) {
+    observe_geometry(Shape{1, xs[0], xs[1], xs[2]});
+  } else {
+    builder.fail("BoundedActivation: rank-1/3 per-sample input expected, got " +
+                 xs.str());
+  }
+  return builder.activation(this, input);
 }
 
 Variable BoundedActivation::forward(const Variable& x) {

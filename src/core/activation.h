@@ -58,6 +58,16 @@ class BoundedActivation final : public nn::Module {
 
   Variable forward(const Variable& x) override;
 
+  /// Records this site as a planned activation op (nn/plan.h). The op holds
+  /// a pointer back to this site and reads scheme/bounds/steepness/counting
+  /// state at execute time, so re-protection (set_scheme/set_bounds) and
+  /// clamp-counting toggles stay visible to a compiled plan. Recording fails
+  /// while profiling or with an input corruptor installed (plans are clean
+  /// inference programs), and for a bounded scheme whose bounds were never
+  /// initialised.
+  nn::PlanValueId record(nn::PlanBuilder& builder,
+                         nn::PlanValueId input) override;
+
   // -- scheme control ---------------------------------------------------
   [[nodiscard]] Scheme scheme() const noexcept { return config_.scheme; }
   void set_scheme(Scheme s) noexcept { config_.scheme = s; }
@@ -145,6 +155,13 @@ class BoundedActivation final : public nn::Module {
     clamp_events_ = 0;
     clamp_total_ = 0;
   }
+
+  /// Fold externally counted clamp statistics into this site's counters.
+  /// Planned execution fuses the event count into the activation kernel's
+  /// pass over the data (autograd/op_kernels.h) and deposits it here; the
+  /// single-writer contract and debug enforcement are the same as for
+  /// count_clamps.
+  void add_clamp_counts(std::uint64_t events, std::uint64_t total) noexcept;
 
   // -- transient activation faults ------------------------------------------
   /// Mutates a *copy* of the pre-activation input tensor. Used by the

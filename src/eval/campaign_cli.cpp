@@ -1,0 +1,25 @@
+#include "eval/campaign_cli.h"
+
+namespace fitact::ev {
+
+ExperimentScale scale_from_cli(const ut::Cli& cli,
+                               const CampaignCliDefaults& defaults) {
+  ExperimentScale scale = (defaults.allow_full && cli.get_flag("full"))
+                              ? ExperimentScale::full()
+                              : ExperimentScale::scaled();
+  if (defaults.train_size >= 0) scale.train_size = defaults.train_size;
+  if (defaults.test_size >= 0) scale.test_size = defaults.test_size;
+  if (defaults.train_epochs >= 0) scale.train_epochs = defaults.train_epochs;
+  if (defaults.eval_samples >= 0) scale.eval_samples = defaults.eval_samples;
+  if (defaults.trials >= 0) scale.trials = defaults.trials;
+
+  scale.train_size = cli.get_int("train-size", scale.train_size);
+  scale.test_size = cli.get_int("test-size", scale.test_size);
+  scale.train_epochs = cli.get_int("epochs", scale.train_epochs);
+  scale.eval_samples = cli.get_int("eval-samples", scale.eval_samples);
+  if (cli.has("trials")) scale.trials = cli.get_int("trials", scale.trials);
+  scale.campaign_threads = cli.get_count("threads", 1);
+  return scale;
+}
+
+}  // namespace fitact::ev

@@ -1,0 +1,41 @@
+// Shared command-line handling for the campaign drivers (the fig*/ablation*
+// benches and the fault-injection examples). Every driver accepts the same
+// family of scale flags — --full, --trials, --threads, --train-size,
+// --test-size, --epochs, --eval-samples — and used to hand-parse them with
+// per-driver copies of the same dozen lines. This helper owns the mapping
+// from flags to ev::ExperimentScale once; drivers differ only in their
+// default overrides.
+#pragma once
+
+#include <cstdint>
+
+#include "eval/experiment.h"
+#include "util/cli.h"
+
+namespace fitact::ev {
+
+/// Per-driver default overrides, applied to the base scale *before* the
+/// command-line flags (so flags always win). -1 keeps the base scale's own
+/// value.
+struct CampaignCliDefaults {
+  std::int64_t train_size = -1;
+  std::int64_t test_size = -1;
+  std::int64_t train_epochs = -1;
+  std::int64_t eval_samples = -1;
+  std::int64_t trials = -1;
+  /// Honour --full (paper-scale run). Drivers whose full-scale behavior is
+  /// untested can opt out; --full is then ignored.
+  bool allow_full = true;
+};
+
+/// Build an ExperimentScale from the standard campaign flags:
+///   base        = --full (when allowed) ? full() : scaled()
+///   overrides   = defaults with a non-negative value
+///   flags       = --train-size, --test-size, --epochs, --eval-samples,
+///                 --trials (only when present), --threads
+/// --threads defaults to 1 (serial campaign lanes — the fail-safe setting);
+/// 0 means one lane per hardware thread.
+[[nodiscard]] ExperimentScale scale_from_cli(
+    const ut::Cli& cli, const CampaignCliDefaults& defaults = {});
+
+}  // namespace fitact::ev

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "nn/plan.h"
 #include "util/log.h"
 
 namespace fitact::ev {
@@ -59,7 +60,7 @@ std::unique_ptr<serve::InferenceServer> make_server(
     pm.touch();
   }
 
-  serve::ServerConfig config = options.server;
+  serve::ServerOptions config = options.server;
   const auto source_sites = core::collect_activations(*pm.model);
   const bool any_bounds =
       std::any_of(source_sites.begin(), source_sites.end(),
@@ -82,12 +83,47 @@ std::unique_ptr<serve::InferenceServer> make_server(
                    << peak << ")";
   }
 
+  // Planned execution needs the per-sample input shape, which the test
+  // split provides. Without one the lanes simply serve eagerly.
+  Shape sample_shape;
+  if (config.plan && pm.test && pm.test->size() > 0) {
+    const Shape s = pm.test->batch(0, 1, nullptr).shape();
+    sample_shape = Shape{s[1], s[2], s[3]};
+  } else if (config.plan) {
+    ut::log_warn() << "make_server: planned execution requested but no test "
+                      "split provides a sample shape; lanes will serve "
+                      "eagerly";
+  }
+
   // The server itself enables clamp counting on lane sites when detection
   // is on, so the factory only assembles the lane anatomy.
-  serve::LaneFactory factory = [&pm](std::size_t) {
+  bool plan_error_logged = false;
+  serve::LaneFactory factory = [&pm, &config, &sample_shape,
+                                &plan_error_logged](std::size_t index) {
     serve::Lane lane;
     lane.model = replicate_model(pm);
     lane.image = std::make_shared<quant::ParamImage>(*lane.model);
+    if (config.plan && !sample_shape.empty()) {
+      // Recording requires eval mode (BatchNorm's plan op is the eval-mode
+      // affine map); the server re-asserts eval on every lane anyway.
+      lane.model->set_training(false);
+      try {
+        lane.plan = nn::InferencePlan::compile(lane.model, sample_shape,
+                                               config.max_batch);
+        if (index == 0) {
+          ut::log_info() << "make_server: compiled lane plan ("
+                         << lane.plan->op_count() << " ops, arena "
+                         << lane.plan->arena_bytes() / 1024 << " KiB)";
+        }
+      } catch (const nn::PlanError& e) {
+        if (!plan_error_logged) {
+          ut::log_warn() << "make_server: model not plannable, lanes serve "
+                            "eagerly: "
+                         << e.what();
+          plan_error_logged = true;
+        }
+      }
+    }
     return lane;
   };
   return std::make_unique<serve::InferenceServer>(factory, config);

@@ -14,10 +14,12 @@
 namespace fitact::ev {
 
 struct ServeOptions {
-  /// Server shape. A negative clamp_rate_threshold means "calibrate from
-  /// clean traffic" (the default here, overriding the ServerConfig default).
-  serve::ServerConfig server = [] {
-    serve::ServerConfig c;
+  /// Server shape (lanes, batch size, window, detection threshold, planned
+  /// execution on/off). A negative clamp_rate_threshold means "calibrate
+  /// from clean traffic" (the default here, overriding the ServerOptions
+  /// default).
+  serve::ServerOptions server = [] {
+    serve::ServerOptions c;
     c.clamp_rate_threshold = -1.0;
     return c;
   }();
@@ -50,7 +52,11 @@ struct ServeOptions {
 ///   2. calibrates the clamp-rate threshold from clean test traffic when
 ///      options ask for it (threshold < 0);
 ///   3. builds `lanes` independent replicas, each with its own clean
-///      ParamImage, clamp counting enabled when detection is on.
+///      ParamImage, clamp counting enabled when detection is on;
+///   4. compiles an nn::InferencePlan per lane (when options.server.plan is
+///      set and a test split provides the sample shape), so lanes serve
+///      through recorded zero-allocation execution; a model that cannot be
+///      recorded logs the PlanError once and serves eagerly.
 /// pm must outlive the returned server. Detection requires a bounded
 /// scheme; with plain ReLU sites the clamp rate is identically zero and
 /// the detector never fires (a warning is logged).

@@ -1,6 +1,7 @@
 #include "models/resnet.h"
 
 #include "autograd/ops.h"
+#include "nn/plan.h"
 #include "util/rng.h"
 
 namespace fitact::models {
@@ -51,6 +52,26 @@ class Bottleneck final : public nn::Module {
       shortcut = proj_bn_->forward(proj_conv_->forward(x));
     }
     return act_out_->forward(ag::add(h, shortcut));
+  }
+
+  nn::PlanValueId record(nn::PlanBuilder& builder,
+                         nn::PlanValueId input) override {
+    // Mirrors forward() op for op, including the residual add.
+    nn::PlanValueId h = builder.record_child("conv1", *conv1_, input);
+    h = builder.record_child("bn1", *bn1_, h);
+    h = builder.record_child("act1", *act1_, h);
+    h = builder.record_child("conv2", *conv2_, h);
+    h = builder.record_child("bn2", *bn2_, h);
+    h = builder.record_child("act2", *act2_, h);
+    h = builder.record_child("conv3", *conv3_, h);
+    h = builder.record_child("bn3", *bn3_, h);
+    nn::PlanValueId shortcut = input;
+    if (proj_conv_) {
+      shortcut = builder.record_child("proj_conv", *proj_conv_, input);
+      shortcut = builder.record_child("proj_bn", *proj_bn_, shortcut);
+    }
+    return builder.record_child("act_out", *act_out_,
+                                builder.add(h, shortcut));
   }
 
  private:

@@ -2,6 +2,7 @@
 
 #include "autograd/ops.h"
 #include "nn/init.h"
+#include "nn/plan.h"
 
 namespace fitact::nn {
 
@@ -28,6 +29,13 @@ Variable Conv2d::forward(const Variable& x) {
   return ag::conv2d(x, weight_, bias_, stride_, padding_);
 }
 
+PlanValueId Conv2d::record(PlanBuilder& builder, PlanValueId input) {
+  assert_initialized();
+  return builder.conv2d(weight_.value(),
+                        bias_.defined() ? bias_.value() : Tensor(), stride_,
+                        padding_, input);
+}
+
 Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
                ut::Rng& rng, InitMode init) {
   Tensor w(Shape{out_features, in_features});
@@ -48,6 +56,12 @@ Variable Linear::forward(const Variable& x) {
   return ag::linear(x, weight_, bias_);
 }
 
+PlanValueId Linear::record(PlanBuilder& builder, PlanValueId input) {
+  assert_initialized();
+  return builder.linear(weight_.value(),
+                        bias_.defined() ? bias_.value() : Tensor(), input);
+}
+
 BatchNorm2d::BatchNorm2d(std::int64_t channels, float momentum, float eps)
     : momentum_(momentum), eps_(eps) {
   gamma_ = register_parameter("weight",
@@ -63,6 +77,16 @@ Variable BatchNorm2d::forward(const Variable& x) {
                           is_training(), momentum_, eps_);
 }
 
+PlanValueId BatchNorm2d::record(PlanBuilder& builder, PlanValueId input) {
+  if (is_training()) {
+    builder.fail(
+        "BatchNorm2d is in training mode; plans record the eval-mode affine "
+        "map only — call set_training(false) before compiling a plan");
+  }
+  return builder.batch_norm2d(gamma_.value(), beta_.value(), running_mean_,
+                              running_var_, eps_, input);
+}
+
 MaxPool2d::MaxPool2d(std::int64_t kernel, std::int64_t stride)
     : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {}
 
@@ -70,8 +94,16 @@ Variable MaxPool2d::forward(const Variable& x) {
   return ag::max_pool2d(x, kernel_, stride_);
 }
 
+PlanValueId MaxPool2d::record(PlanBuilder& builder, PlanValueId input) {
+  return builder.max_pool2d(kernel_, stride_, input);
+}
+
 Variable GlobalAvgPool::forward(const Variable& x) {
   return ag::global_avg_pool(x);
+}
+
+PlanValueId GlobalAvgPool::record(PlanBuilder& builder, PlanValueId input) {
+  return builder.global_avg_pool(input);
 }
 
 Dropout::Dropout(float p, std::uint64_t seed) : p_(p), rng_(seed) {}
@@ -80,11 +112,32 @@ Variable Dropout::forward(const Variable& x) {
   return ag::dropout(x, p_, is_training(), rng_);
 }
 
+PlanValueId Dropout::record(PlanBuilder& builder, PlanValueId input) {
+  if (is_training() && p_ > 0.0f) {
+    builder.fail(
+        "Dropout is active (training mode, p > 0); plans are inference "
+        "programs — call set_training(false) before compiling a plan");
+  }
+  return builder.noop("Dropout", input);
+}
+
 Variable Flatten::forward(const Variable& x) { return ag::flatten(x); }
+
+PlanValueId Flatten::record(PlanBuilder& builder, PlanValueId input) {
+  return builder.flatten(input);
+}
 
 Variable Sequential::forward(const Variable& x) {
   Variable h = x;
   for (auto& m : modules_) h = m->forward(h);
+  return h;
+}
+
+PlanValueId Sequential::record(PlanBuilder& builder, PlanValueId input) {
+  PlanValueId h = input;
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    h = builder.record_child(std::to_string(i), *modules_[i], h);
+  }
   return h;
 }
 

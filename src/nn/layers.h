@@ -20,6 +20,7 @@ class Conv2d final : public Module {
          bool bias, ut::Rng& rng, InitMode init = InitMode::random);
 
   Variable forward(const Variable& x) override;
+  PlanValueId record(PlanBuilder& builder, PlanValueId input) override;
 
   [[nodiscard]] std::int64_t out_channels() const noexcept { return out_c_; }
 
@@ -39,6 +40,7 @@ class Linear final : public Module {
          ut::Rng& rng, InitMode init = InitMode::random);
 
   Variable forward(const Variable& x) override;
+  PlanValueId record(PlanBuilder& builder, PlanValueId input) override;
 
  private:
   Variable weight_;
@@ -51,6 +53,9 @@ class BatchNorm2d final : public Module {
                        float eps = 1e-5f);
 
   Variable forward(const Variable& x) override;
+  /// Records the eval-mode affine map; fails while in training mode (batch
+  /// statistics depend on the batch, which a plan cannot represent).
+  PlanValueId record(PlanBuilder& builder, PlanValueId input) override;
 
  private:
   float momentum_;
@@ -66,6 +71,7 @@ class MaxPool2d final : public Module {
   explicit MaxPool2d(std::int64_t kernel, std::int64_t stride = -1);
 
   Variable forward(const Variable& x) override;
+  PlanValueId record(PlanBuilder& builder, PlanValueId input) override;
 
  private:
   std::int64_t kernel_;
@@ -75,16 +81,21 @@ class MaxPool2d final : public Module {
 class GlobalAvgPool final : public Module {
  public:
   Variable forward(const Variable& x) override;
+  PlanValueId record(PlanBuilder& builder, PlanValueId input) override;
 };
 
 class Flatten final : public Module {
  public:
   Variable forward(const Variable& x) override;
+  PlanValueId record(PlanBuilder& builder, PlanValueId input) override;
 };
 
 class Identity final : public Module {
  public:
   Variable forward(const Variable& x) override { return x; }
+  PlanValueId record(PlanBuilder& /*builder*/, PlanValueId input) override {
+    return input;
+  }
 };
 
 /// Inverted dropout; active only in training mode. Owns its RNG stream so
@@ -94,6 +105,11 @@ class Dropout final : public Module {
   explicit Dropout(float p, std::uint64_t seed = 0xD50Full);
 
   Variable forward(const Variable& x) override;
+  /// In eval mode (or with p == 0) dropout is the identity, recorded as an
+  /// explicit no-op so the plan documents the module. Recording an *active*
+  /// dropout fails: a plan is an inference program and must not embed
+  /// train-only stochastic behavior.
+  PlanValueId record(PlanBuilder& builder, PlanValueId input) override;
 
  private:
   float p_;
@@ -114,6 +130,7 @@ class Sequential final : public Module {
   }
 
   Variable forward(const Variable& x) override;
+  PlanValueId record(PlanBuilder& builder, PlanValueId input) override;
 
   [[nodiscard]] std::size_t size() const noexcept { return modules_.size(); }
   [[nodiscard]] const std::shared_ptr<Module>& at(std::size_t i) const {

@@ -1,8 +1,17 @@
 #include "nn/module.h"
 
 #include <cassert>
+#include <typeinfo>
+
+#include "nn/plan.h"
 
 namespace fitact::nn {
+
+PlanValueId Module::record(PlanBuilder& builder, PlanValueId /*input*/) {
+  builder.fail(std::string("module type '") + typeid(*this).name() +
+               "' has no record() override and cannot run under planned "
+               "execution");
+}
 
 void Module::set_training(bool training) {
   training_ = training;

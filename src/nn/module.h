@@ -7,6 +7,7 @@
 // and the fault injector use as stable parameter identities.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -15,6 +16,12 @@
 #include "autograd/variable.h"
 
 namespace fitact::nn {
+
+class PlanBuilder;
+
+/// Identifier of a value (an intermediate activation) inside an
+/// InferencePlan under construction. See nn/plan.h.
+using PlanValueId = std::int32_t;
 
 struct NamedParam {
   std::string name;
@@ -34,6 +41,15 @@ class Module {
   Module& operator=(const Module&) = delete;
 
   virtual Variable forward(const Variable& x) = 0;
+
+  /// Append this module's inference-time ops to a plan under construction
+  /// (see nn/plan.h) and return the output value id. The base implementation
+  /// throws PlanError naming the module — a type without an override cannot
+  /// run under planned execution, and callers (ev::make_server) fall back to
+  /// the eager forward path. Overrides must record exactly the arithmetic
+  /// their eval-mode forward performs, so planned and eager outputs stay
+  /// bit-identical.
+  virtual PlanValueId record(PlanBuilder& builder, PlanValueId input);
 
   /// Training vs evaluation mode (affects BatchNorm); recursive.
   void set_training(bool training);

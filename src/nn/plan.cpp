@@ -1,0 +1,632 @@
+#include "nn/plan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/activation.h"
+#include "util/thread_pool.h"
+
+namespace fitact::nn {
+namespace {
+
+/// Sentinel last_use for values that must stay live for the whole program:
+/// the plan input (the caller stages the next batch into it before execute)
+/// and the plan output (the caller reads it after execute returns). Keeping
+/// both always-live means the arena planner can never overlap them with an
+/// intermediate — or each other — so a caller filling the next input cannot
+/// clobber logits it has not copied out yet.
+constexpr std::int32_t kLiveForever = std::numeric_limits<std::int32_t>::max();
+
+/// Arena offsets are aligned to 16 floats (one 64-byte cache line) so
+/// values never share a line across lanes' false-sharing boundaries.
+constexpr std::size_t kAlignFloats = 16;
+
+std::size_t align_up(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+Shape batched(std::int64_t batch, const Shape& sample) {
+  std::vector<std::int64_t> dims;
+  dims.reserve(sample.rank() + 1);
+  dims.push_back(batch);
+  dims.insert(dims.end(), sample.dims().begin(), sample.dims().end());
+  return Shape(std::move(dims));
+}
+
+}  // namespace
+
+// ---- PlanBuilder -----------------------------------------------------------
+
+PlanBuilder::PlanBuilder(Shape sample_shape) {
+  if (sample_shape.numel() <= 0) {
+    throw std::invalid_argument("InferencePlan: empty sample shape " +
+                                sample_shape.str());
+  }
+  new_value(std::move(sample_shape), /*def_op=*/-1);
+}
+
+PlanValueId PlanBuilder::new_value(Shape sample_shape, std::int32_t def_op,
+                                   PlanValueId alias_of) {
+  Value v;
+  v.sample_numel = sample_shape.numel();
+  v.sample_shape = std::move(sample_shape);
+  v.alias_of = alias_of;
+  v.def = def_op;
+  v.last_use = def_op;
+  values_.push_back(std::move(v));
+  return static_cast<PlanValueId>(values_.size() - 1);
+}
+
+PlanValueId PlanBuilder::root(PlanValueId v) const noexcept {
+  while (values_[static_cast<std::size_t>(v)].alias_of >= 0) {
+    v = values_[static_cast<std::size_t>(v)].alias_of;
+  }
+  return v;
+}
+
+void PlanBuilder::use(PlanValueId v, std::int32_t op_index) {
+  Value& r = values_[static_cast<std::size_t>(root(v))];
+  r.last_use = std::max(r.last_use, op_index);
+}
+
+const PlanBuilder::Value& PlanBuilder::value(PlanValueId v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= values_.size()) {
+    throw std::logic_error("PlanBuilder: invalid value id " +
+                           std::to_string(v));
+  }
+  return values_[static_cast<std::size_t>(v)];
+}
+
+const Shape& PlanBuilder::value_shape(PlanValueId v) const {
+  return value(v).sample_shape;
+}
+
+std::string PlanBuilder::scope_path() const {
+  std::string path;
+  for (const auto& s : scope_) {
+    if (!path.empty()) path += ".";
+    path += s;
+  }
+  return path;
+}
+
+void PlanBuilder::fail(const std::string& message) const {
+  const std::string at = scope_path();
+  throw PlanError(at.empty() ? message : at + ": " + message);
+}
+
+PlanValueId PlanBuilder::record_child(const std::string& name, Module& child,
+                                      PlanValueId in) {
+  scope_.push_back(name);
+  const PlanValueId out = child.record(*this, in);
+  // Not popped on throw: fail() builds its message from the scope stack as
+  // it stands, and a throwing builder is discarded.
+  scope_.pop_back();
+  return out;
+}
+
+PlanValueId PlanBuilder::conv2d(const Tensor& weight, const Tensor& bias,
+                                std::int64_t stride, std::int64_t padding,
+                                PlanValueId in) {
+  const Shape& xs = value_shape(in);
+  if (xs.rank() != 3) {
+    fail("conv2d expects a [C,H,W] per-sample input, got " + xs.str());
+  }
+  if (weight.shape().rank() != 4 || weight.shape()[1] != xs[0]) {
+    fail("conv2d weight " + weight.shape().str() +
+         " incompatible with input " + xs.str());
+  }
+  Op op;
+  op.kind = OpKind::conv2d;
+  op.label = scope_path();
+  op.geo.in_channels = xs[0];
+  op.geo.in_h = xs[1];
+  op.geo.in_w = xs[2];
+  op.geo.kernel_h = weight.shape()[2];
+  op.geo.kernel_w = weight.shape()[3];
+  op.geo.stride = stride;
+  op.geo.padding = padding;
+  op.out_c = weight.shape()[0];
+  if (op.geo.out_h() <= 0 || op.geo.out_w() <= 0) {
+    fail("conv2d output collapses to zero extent for input " + xs.str());
+  }
+  if (bias.defined() && bias.numel() != op.out_c) {
+    fail("conv2d bias extent " + std::to_string(bias.numel()) +
+         " != out channels " + std::to_string(op.out_c));
+  }
+  op.weight = weight;
+  op.bias = bias;
+  const auto idx = static_cast<std::int32_t>(ops_.size());
+  op.in0 = in;
+  op.out = new_value(Shape{op.out_c, op.geo.out_h(), op.geo.out_w()}, idx);
+  use(in, idx);
+  ops_.push_back(std::move(op));
+  return ops_.back().out;
+}
+
+PlanValueId PlanBuilder::linear(const Tensor& weight, const Tensor& bias,
+                                PlanValueId in) {
+  const Shape& xs = value_shape(in);
+  if (xs.rank() != 1) {
+    fail("linear expects a flattened [F] per-sample input, got " + xs.str());
+  }
+  if (weight.shape().rank() != 2 || weight.shape()[1] != xs[0]) {
+    fail("linear weight " + weight.shape().str() + " incompatible with input " +
+         xs.str());
+  }
+  Op op;
+  op.kind = OpKind::linear;
+  op.label = scope_path();
+  op.in_f = weight.shape()[1];
+  op.out_f = weight.shape()[0];
+  if (bias.defined() && bias.numel() != op.out_f) {
+    fail("linear bias extent " + std::to_string(bias.numel()) +
+         " != out features " + std::to_string(op.out_f));
+  }
+  op.weight = weight;
+  op.bias = bias;
+  const auto idx = static_cast<std::int32_t>(ops_.size());
+  op.in0 = in;
+  op.out = new_value(Shape{op.out_f}, idx);
+  use(in, idx);
+  ops_.push_back(std::move(op));
+  return ops_.back().out;
+}
+
+PlanValueId PlanBuilder::batch_norm2d(const Tensor& gamma, const Tensor& beta,
+                                      const Tensor& running_mean,
+                                      const Tensor& running_var, float eps,
+                                      PlanValueId in) {
+  const Shape& xs = value_shape(in);
+  if (xs.rank() != 3) {
+    fail("batch_norm2d expects a [C,H,W] per-sample input, got " + xs.str());
+  }
+  const std::int64_t ch = xs[0];
+  if (gamma.numel() != ch || beta.numel() != ch ||
+      running_mean.numel() != ch || running_var.numel() != ch) {
+    fail("batch_norm2d per-channel extent mismatch with input " + xs.str());
+  }
+  Op op;
+  op.kind = OpKind::batch_norm2d;
+  op.label = scope_path();
+  op.gamma = gamma;
+  op.beta = beta;
+  op.running_mean = running_mean;
+  op.running_var = running_var;
+  op.eps = eps;
+  const auto idx = static_cast<std::int32_t>(ops_.size());
+  op.in0 = in;
+  op.out = new_value(xs, idx);
+  use(in, idx);
+  ops_.push_back(std::move(op));
+  return ops_.back().out;
+}
+
+PlanValueId PlanBuilder::max_pool2d(std::int64_t kernel, std::int64_t stride,
+                                    PlanValueId in) {
+  const Shape& xs = value_shape(in);
+  if (xs.rank() != 3) {
+    fail("max_pool2d expects a [C,H,W] per-sample input, got " + xs.str());
+  }
+  const std::int64_t oh = (xs[1] - kernel) / stride + 1;
+  const std::int64_t ow = (xs[2] - kernel) / stride + 1;
+  if (oh <= 0 || ow <= 0) {
+    fail("max_pool2d output collapses to zero extent for input " + xs.str());
+  }
+  Op op;
+  op.kind = OpKind::max_pool2d;
+  op.label = scope_path();
+  op.kernel = kernel;
+  op.stride = stride;
+  const auto idx = static_cast<std::int32_t>(ops_.size());
+  op.in0 = in;
+  op.out = new_value(Shape{xs[0], oh, ow}, idx);
+  use(in, idx);
+  ops_.push_back(std::move(op));
+  return ops_.back().out;
+}
+
+PlanValueId PlanBuilder::global_avg_pool(PlanValueId in) {
+  const Shape& xs = value_shape(in);
+  if (xs.rank() != 3) {
+    fail("global_avg_pool expects a [C,H,W] per-sample input, got " +
+         xs.str());
+  }
+  Op op;
+  op.kind = OpKind::global_avg_pool;
+  op.label = scope_path();
+  const auto idx = static_cast<std::int32_t>(ops_.size());
+  op.in0 = in;
+  op.out = new_value(Shape{xs[0]}, idx);
+  use(in, idx);
+  ops_.push_back(std::move(op));
+  return ops_.back().out;
+}
+
+PlanValueId PlanBuilder::flatten(PlanValueId in) {
+  const Value& v = value(in);
+  if (v.sample_shape.rank() == 1) return in;
+  // Pure view: same storage, flat shape. Batched layout is unchanged
+  // because samples are contiguous.
+  return new_value(Shape{v.sample_numel}, v.def, root(in));
+}
+
+PlanValueId PlanBuilder::activation(core::BoundedActivation* site,
+                                    PlanValueId in) {
+  if (site == nullptr) fail("activation: null site");
+  const Shape& xs = value_shape(in);
+  Op op;
+  op.kind = OpKind::activation;
+  op.label = scope_path();
+  op.site = site;
+  if (xs.rank() == 1) {
+    op.fb.feat = xs[0];
+    op.fb.hw = 1;
+    op.fb.channels = xs[0];
+  } else if (xs.rank() == 3) {
+    op.fb.feat = xs[0] * xs[1] * xs[2];
+    op.fb.hw = xs[1] * xs[2];
+    op.fb.channels = xs[0];
+  } else {
+    fail("activation expects a rank-1/3 per-sample input, got " + xs.str());
+  }
+  const auto idx = static_cast<std::int32_t>(ops_.size());
+  op.in0 = in;
+  op.out = new_value(xs, idx);
+  use(in, idx);
+  ops_.push_back(std::move(op));
+  return ops_.back().out;
+}
+
+PlanValueId PlanBuilder::add(PlanValueId a, PlanValueId b) {
+  const Shape& as = value_shape(a);
+  const Shape& bs = value_shape(b);
+  if (as != bs) {
+    fail("add operand shapes differ: " + as.str() + " vs " + bs.str());
+  }
+  Op op;
+  op.kind = OpKind::add;
+  op.label = scope_path();
+  const auto idx = static_cast<std::int32_t>(ops_.size());
+  op.in0 = a;
+  op.in1 = b;
+  op.out = new_value(as, idx);
+  use(a, idx);
+  use(b, idx);
+  ops_.push_back(std::move(op));
+  return ops_.back().out;
+}
+
+PlanValueId PlanBuilder::noop(const std::string& what, PlanValueId in) {
+  // Documented pass-through: the op appears in the program (and summary())
+  // but moves no data — its output is the input value itself.
+  Op op;
+  op.kind = OpKind::noop;
+  op.label = scope_path().empty() ? what : scope_path() + " (" + what + ")";
+  const auto idx = static_cast<std::int32_t>(ops_.size());
+  op.in0 = in;
+  op.out = in;
+  use(in, idx);
+  ops_.push_back(std::move(op));
+  return in;
+}
+
+// ---- InferencePlan ---------------------------------------------------------
+
+PlanValueId InferencePlan::root(PlanValueId v) const noexcept {
+  while (values_[static_cast<std::size_t>(v)].alias_of >= 0) {
+    v = values_[static_cast<std::size_t>(v)].alias_of;
+  }
+  return v;
+}
+
+std::shared_ptr<InferencePlan> InferencePlan::compile(
+    std::shared_ptr<Module> model, const Shape& sample_shape,
+    std::int64_t max_batch) {
+  if (!model) throw std::invalid_argument("InferencePlan: null model");
+  if (max_batch < 1) {
+    throw std::invalid_argument("InferencePlan: max_batch must be >= 1, got " +
+                                std::to_string(max_batch));
+  }
+  if (model->subtree_pending_init()) {
+    throw std::invalid_argument(
+        "InferencePlan: model has pending-init parameters; install state "
+        "before compiling");
+  }
+
+  PlanBuilder builder(sample_shape);
+  const PlanValueId out = model->record(builder, 0);
+  if (builder.ops_.empty()) {
+    throw PlanError("InferencePlan: model recorded no ops");
+  }
+
+  // Input and output stay live across the whole program (see kLiveForever).
+  builder.values_[static_cast<std::size_t>(builder.root(0))].last_use =
+      kLiveForever;
+  builder.values_[static_cast<std::size_t>(builder.root(out))].last_use =
+      kLiveForever;
+
+  auto plan = std::shared_ptr<InferencePlan>(new InferencePlan());
+  plan->model_ = std::move(model);
+  plan->values_ = std::move(builder.values_);
+  plan->ops_ = std::move(builder.ops_);
+  plan->output_ = out;
+  plan->max_batch_ = max_batch;
+
+  // Per-sample scratch high-water mark: conv needs an im2col matrix, linear
+  // a transposed weight; ops run one at a time, so one block serves all.
+  std::size_t scratch = 0;
+  for (const auto& op : plan->ops_) {
+    if (op.kind == PlanBuilder::OpKind::conv2d) {
+      scratch = std::max(
+          scratch, static_cast<std::size_t>(op.geo.col_rows() *
+                                            op.geo.col_cols()));
+    } else if (op.kind == PlanBuilder::OpKind::linear) {
+      scratch =
+          std::max(scratch, static_cast<std::size_t>(op.in_f * op.out_f));
+    }
+  }
+  plan->scratch_floats_ = scratch;
+
+  plan->plan_arena();
+  return plan;
+}
+
+void InferencePlan::plan_arena() {
+  // Batch-size buckets: powers of two up to max_batch, plus max_batch
+  // itself. A batch executes in the smallest bucket that fits, so arena
+  // strides (and cache footprint) track the work actually in flight.
+  std::vector<std::int64_t> capacities;
+  for (std::int64_t c = 1; c < max_batch_; c *= 2) capacities.push_back(c);
+  capacities.push_back(max_batch_);
+
+  bucket_of_batch_.assign(static_cast<std::size_t>(max_batch_), 0);
+  for (std::int64_t b = 1; b <= max_batch_; ++b) {
+    std::size_t bucket = 0;
+    while (capacities[bucket] < b) ++bucket;
+    bucket_of_batch_[static_cast<std::size_t>(b - 1)] = bucket;
+  }
+
+  struct Placed {
+    std::size_t offset, size;
+    std::int32_t def, last;
+  };
+
+  arena_floats_ = 0;
+  buckets_.clear();
+  buckets_.reserve(capacities.size());
+  for (const std::int64_t cap : capacities) {
+    Bucket bk;
+    bk.capacity = cap;
+    bk.offsets.assign(values_.size(), 0);
+
+    std::vector<Placed> placed;
+    // The shared scratch block is live for the whole program; placing it
+    // first pins it at offset 0 in every bucket.
+    placed.push_back({0, align_up(scratch_floats_), -1, kLiveForever});
+    bk.scratch_offset = 0;
+
+    for (std::size_t vi = 0; vi < values_.size(); ++vi) {
+      const Value& v = values_[vi];
+      if (v.alias_of >= 0) continue;  // views resolve through their root
+      const auto size = align_up(
+          static_cast<std::size_t>(v.sample_numel) * static_cast<std::size_t>(cap));
+      // First-fit: scan occupied extents of time-overlapping blocks in
+      // offset order and take the first gap large enough.
+      std::vector<Placed> live;
+      for (const auto& p : placed) {
+        if (v.def <= p.last && p.def <= v.last_use) live.push_back(p);
+      }
+      std::sort(live.begin(), live.end(),
+                [](const Placed& a, const Placed& b) {
+                  return a.offset < b.offset;
+                });
+      std::size_t offset = 0;
+      for (const auto& p : live) {
+        if (offset + size <= p.offset) break;
+        offset = std::max(offset, p.offset + p.size);
+      }
+      bk.offsets[vi] = offset;
+      placed.push_back({offset, size, v.def, v.last_use});
+    }
+
+    for (const auto& p : placed) {
+      bk.total_floats = std::max(bk.total_floats, p.offset + p.size);
+    }
+    // Alias values read/write through their root's slot.
+    for (std::size_t vi = 0; vi < values_.size(); ++vi) {
+      if (values_[vi].alias_of >= 0) {
+        bk.offsets[vi] =
+            bk.offsets[static_cast<std::size_t>(root(
+                static_cast<PlanValueId>(vi)))];
+      }
+    }
+    arena_floats_ = std::max(arena_floats_, bk.total_floats);
+    buckets_.push_back(std::move(bk));
+  }
+
+  arena_ = std::make_unique<float[]>(std::max<std::size_t>(arena_floats_, 1));
+  std::memset(arena_.get(), 0, arena_floats_ * sizeof(float));
+
+  // Pre-built per-batch-size views: execute() and input_view() hand out
+  // references to these, so steady state constructs no Shapes (a Shape copy
+  // allocates its dims vector).
+  input_views_.clear();
+  output_views_.clear();
+  input_views_.reserve(static_cast<std::size_t>(max_batch_));
+  output_views_.reserve(static_cast<std::size_t>(max_batch_));
+  const PlanValueId out_root = root(output_);
+  for (std::int64_t b = 1; b <= max_batch_; ++b) {
+    const Bucket& bk = buckets_[bucket_of_batch_[static_cast<std::size_t>(b - 1)]];
+    input_views_.push_back(
+        Tensor::view(batched(b, values_[0].sample_shape),
+                     arena_.get() + bk.offsets[0]));
+    output_views_.push_back(Tensor::view(
+        batched(b, values_[static_cast<std::size_t>(output_)].sample_shape),
+        arena_.get() + bk.offsets[static_cast<std::size_t>(out_root)]));
+  }
+}
+
+const InferencePlan::Bucket& InferencePlan::bucket_for(
+    std::int64_t batch) const {
+  if (batch < 1 || batch > max_batch_) {
+    throw std::invalid_argument("InferencePlan: batch " +
+                                std::to_string(batch) +
+                                " outside compiled range [1, " +
+                                std::to_string(max_batch_) + "]");
+  }
+  return buckets_[bucket_of_batch_[static_cast<std::size_t>(batch - 1)]];
+}
+
+const Shape& InferencePlan::sample_shape() const {
+  return values_[0].sample_shape;
+}
+
+Tensor& InferencePlan::input_view(std::int64_t batch) {
+  (void)bucket_for(batch);  // range check
+  return input_views_[static_cast<std::size_t>(batch - 1)];
+}
+
+Tensor& InferencePlan::execute(std::int64_t batch) {
+  const Bucket& bk = bucket_for(batch);
+  // Lane threads run kernels inline: plan execution is already one lane of
+  // a thread-per-lane server, and inline kernels are also what keeps the
+  // steady state allocation-free (pool dispatch allocates task state).
+  ut::InlineKernelScope inline_scope;
+  float* const base = arena_.get();
+  float* const scratch = base + bk.scratch_offset;
+  const auto ptr = [&](PlanValueId v) {
+    return base + bk.offsets[static_cast<std::size_t>(v)];
+  };
+
+  for (const auto& op : ops_) {
+    switch (op.kind) {
+      case PlanBuilder::OpKind::conv2d: {
+        const std::int64_t in_stride =
+            values_[static_cast<std::size_t>(op.in0)].sample_numel;
+        const std::int64_t out_stride =
+            values_[static_cast<std::size_t>(op.out)].sample_numel;
+        const float* x = ptr(op.in0);
+        float* o = ptr(op.out);
+        const float* w = op.weight.data();
+        const float* b = op.bias.defined() ? op.bias.data() : nullptr;
+        for (std::int64_t s = 0; s < batch; ++s) {
+          ag::conv2d_forward_sample(op.geo, op.out_c, x + s * in_stride, w, b,
+                                    scratch, o + s * out_stride);
+        }
+        break;
+      }
+      case PlanBuilder::OpKind::linear:
+        ag::linear_forward(batch, op.in_f, op.out_f, ptr(op.in0),
+                           op.weight.data(),
+                           op.bias.defined() ? op.bias.data() : nullptr,
+                           scratch, ptr(op.out));
+        break;
+      case PlanBuilder::OpKind::batch_norm2d: {
+        const Shape& xs = values_[static_cast<std::size_t>(op.in0)].sample_shape;
+        ag::batch_norm2d_eval_forward(batch, xs[0], xs[1] * xs[2], ptr(op.in0),
+                                      op.gamma.data(), op.beta.data(),
+                                      op.running_mean.data(),
+                                      op.running_var.data(), op.eps,
+                                      ptr(op.out));
+        break;
+      }
+      case PlanBuilder::OpKind::max_pool2d: {
+        const Shape& xs = values_[static_cast<std::size_t>(op.in0)].sample_shape;
+        ag::max_pool2d_forward(batch, xs[0], xs[1], xs[2], op.kernel,
+                               op.stride, ptr(op.in0), ptr(op.out), nullptr);
+        break;
+      }
+      case PlanBuilder::OpKind::global_avg_pool: {
+        const Shape& xs = values_[static_cast<std::size_t>(op.in0)].sample_shape;
+        ag::global_avg_pool_forward(batch, xs[0], xs[1] * xs[2], ptr(op.in0),
+                                    ptr(op.out));
+        break;
+      }
+      case PlanBuilder::OpKind::activation: {
+        core::BoundedActivation* site = op.site;
+        if (site->profiling() || site->has_input_corruptor()) {
+          throw std::logic_error(
+              "InferencePlan: activation site '" + op.label +
+              "' entered profiling/corruptor mode after compile; planned "
+              "lanes serve clean inference only");
+        }
+        const std::int64_t n =
+            batch * values_[static_cast<std::size_t>(op.in0)].sample_numel;
+        const float* x = ptr(op.in0);
+        float* o = ptr(op.out);
+        if (site->scheme() == core::Scheme::relu) {
+          ag::relu_forward(x, o, n);
+          break;
+        }
+        if (!site->has_bounds()) {
+          throw std::logic_error("BoundedActivation(" +
+                                 core::to_string(site->scheme()) +
+                                 "): bounds not initialised");
+        }
+        const Tensor& bt = site->bounds().value();
+        op.fb.validate_bound(bt.numel());
+        const bool count = site->clamp_counting();
+        std::uint64_t events = 0;
+        switch (site->scheme()) {
+          case core::Scheme::clip_act:
+          case core::Scheme::fitrelu_naive:
+            events = ag::clipped_relu_forward(x, bt.data(), bt.numel(), op.fb,
+                                              ag::ClipMode::zero_above, o, n,
+                                              count);
+            break;
+          case core::Scheme::ranger:
+            events = ag::clipped_relu_forward(x, bt.data(), bt.numel(), op.fb,
+                                              ag::ClipMode::saturate, o, n,
+                                              count);
+            break;
+          case core::Scheme::fitrelu:
+            events = ag::fitrelu_forward(x, bt.data(), bt.numel(), op.fb,
+                                         site->steepness(), o, n, count);
+            break;
+          case core::Scheme::relu:
+            break;  // handled above
+        }
+        if (count) {
+          site->add_clamp_counts(events, static_cast<std::uint64_t>(n));
+        }
+        break;
+      }
+      case PlanBuilder::OpKind::add:
+        ag::add_forward(ptr(op.in0), ptr(op.in1), ptr(op.out),
+                        batch *
+                            values_[static_cast<std::size_t>(op.out)]
+                                .sample_numel);
+        break;
+      case PlanBuilder::OpKind::noop:
+        break;
+    }
+  }
+  return output_views_[static_cast<std::size_t>(batch - 1)];
+}
+
+std::string InferencePlan::summary() const {
+  static const char* const kKindNames[] = {
+      "conv2d",      "linear", "batch_norm2d", "max_pool2d",
+      "global_avg_pool", "activation", "add",  "noop"};
+  std::ostringstream os;
+  os << "InferencePlan: " << ops_.size() << " ops, " << values_.size()
+     << " values, max_batch " << max_batch_ << ", arena "
+     << arena_bytes() / 1024 << " KiB (" << buckets_.size() << " buckets)\n";
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    os << "  %" << op.out << " = "
+       << kKindNames[static_cast<std::size_t>(op.kind)] << "(%" << op.in0;
+    if (op.in1 >= 0) os << ", %" << op.in1;
+    os << ") -> "
+       << values_[static_cast<std::size_t>(op.out)].sample_shape.str();
+    if (!op.label.empty()) os << "  # " << op.label;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fitact::nn

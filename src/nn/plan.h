@@ -1,0 +1,237 @@
+// Define-then-execute inference plans (the serving hot path's forward API).
+//
+// The eager Module::forward path allocates every intermediate tensor on
+// every call — fine for training, where autograd needs the graph anyway,
+// but pure overhead for serving, where the op sequence of a model is fixed.
+// An InferencePlan splits define from execute, ggml-style:
+//
+//   record    Module::record(PlanBuilder&) walks the model once and appends
+//             plan ops (conv2d / linear / batch_norm2d / pools / flatten /
+//             bounded activation / residual add), capturing parameter
+//             tensors by shared storage — live fault injection and clean-
+//             image scrubs through quant::ParamImage remain visible to the
+//             plan because they write through that same storage.
+//   plan      A liveness pass assigns every intermediate value an offset in
+//             one pre-sized activation arena (first-fit over live ranges,
+//             which degenerates to ping-pong for chain models), with a
+//             separate offset table per batch-size bucket (powers of two up
+//             to max_batch) so small batches stay cache-tight.
+//   execute   Batches run through the recorded ops with zero heap
+//             allocations in steady state: kernels come from
+//             autograd/op_kernels.h (the same inline code the eager ops
+//             run, so outputs are bit-identical to eager forwards), nested
+//             GEMM parallelism is disabled via ut::InlineKernelScope (lane
+//             threads already saturate the cores), and input/output views
+//             are pre-built non-owning Tensors over the arena.
+//
+// Recording fails with PlanError — listing the offending module's path —
+// for module types without a record() override and for train-only behavior
+// (BatchNorm2d in training mode, active Dropout). Train-only modules that
+// are inert at inference (Dropout in eval mode) record an explicit no-op so
+// the plan documents them instead of silently diverging from forward().
+//
+// Thread safety: a plan is mutable state (its arena); drive it from one
+// thread at a time. Serving lanes hold their lane mutex across execute,
+// exactly as they do for the eager path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "autograd/op_kernels.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace fitact::core {
+class BoundedActivation;
+}
+
+namespace fitact::nn {
+
+/// Recording failed: the model cannot run under planned execution (the
+/// message names the offending module path). Callers fall back to eager
+/// forward.
+class PlanError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Accumulates the op sequence and value list while Module::record walks a
+/// model. Values are per-sample shapes (no batch dimension); the batch
+/// dimension is bound at execute time.
+class PlanBuilder {
+ public:
+  PlanBuilder(const PlanBuilder&) = delete;
+  PlanBuilder& operator=(const PlanBuilder&) = delete;
+
+  // -- ops (each returns the output value id) -----------------------------
+  PlanValueId conv2d(const Tensor& weight, const Tensor& bias,
+                     std::int64_t stride, std::int64_t padding,
+                     PlanValueId in);
+  PlanValueId linear(const Tensor& weight, const Tensor& bias,
+                     PlanValueId in);
+  PlanValueId batch_norm2d(const Tensor& gamma, const Tensor& beta,
+                           const Tensor& running_mean,
+                           const Tensor& running_var, float eps,
+                           PlanValueId in);
+  PlanValueId max_pool2d(std::int64_t kernel, std::int64_t stride,
+                         PlanValueId in);
+  PlanValueId global_avg_pool(PlanValueId in);
+  /// Pure view: no op is recorded and no arena space is assigned — the
+  /// flattened value aliases its source.
+  PlanValueId flatten(PlanValueId in);
+  /// Bounded activation with clamp counting fused into the same pass over
+  /// the data. The site is captured by pointer and its scheme/bounds are
+  /// read at execute time, so re-protection (set_bounds replaces the bound
+  /// storage) stays visible to the plan.
+  PlanValueId activation(core::BoundedActivation* site, PlanValueId in);
+  /// Elementwise sum (residual shortcuts).
+  PlanValueId add(PlanValueId a, PlanValueId b);
+  /// Explicit recorded no-op: a train-only module that is inert at
+  /// inference (e.g. Dropout in eval mode). Documents the module in the
+  /// plan instead of silently skipping it.
+  PlanValueId noop(const std::string& what, PlanValueId in);
+
+  /// Per-sample shape of a recorded value.
+  [[nodiscard]] const Shape& value_shape(PlanValueId v) const;
+
+  /// Record `child` under `name` so PlanError messages carry the module
+  /// path ("features.7.act1").
+  PlanValueId record_child(const std::string& name, Module& child,
+                           PlanValueId in);
+
+  /// Throw PlanError anchored at the current module path.
+  [[noreturn]] void fail(const std::string& message) const;
+
+ private:
+  friend class InferencePlan;
+
+  enum class OpKind : std::uint8_t {
+    conv2d,
+    linear,
+    batch_norm2d,
+    max_pool2d,
+    global_avg_pool,
+    activation,
+    add,
+    noop,
+  };
+
+  struct Value {
+    Shape sample_shape;
+    std::int64_t sample_numel = 0;
+    PlanValueId alias_of = -1;  ///< flatten views share their source's arena slot
+    std::int32_t def = -1;      ///< op index that writes it (-1: plan input)
+    std::int32_t last_use = -1; ///< last op index that reads it
+  };
+
+  struct Op {
+    OpKind kind;
+    PlanValueId in0 = -1;
+    PlanValueId in1 = -1;
+    PlanValueId out = -1;
+    std::string label;  ///< module path at record time (diagnostics)
+
+    // conv2d
+    Conv2dGeometry geo{};
+    std::int64_t out_c = 0;
+    // conv2d / linear / batch_norm2d parameters (shared storage with the
+    // module's live parameters)
+    Tensor weight;
+    Tensor bias;
+    Tensor gamma, beta, running_mean, running_var;
+    float eps = 0.0f;
+    // linear
+    std::int64_t in_f = 0, out_f = 0;
+    // max_pool2d
+    std::int64_t kernel = 0, stride = 0;
+    // activation
+    core::BoundedActivation* site = nullptr;
+    ag::FeatureBroadcast fb{};
+  };
+
+  explicit PlanBuilder(Shape sample_shape);
+
+  PlanValueId new_value(Shape sample_shape, std::int32_t def_op,
+                        PlanValueId alias_of = -1);
+  PlanValueId root(PlanValueId v) const noexcept;
+  void use(PlanValueId v, std::int32_t op_index);
+  const Value& value(PlanValueId v) const;
+  [[nodiscard]] std::string scope_path() const;
+
+  std::vector<Value> values_;
+  std::vector<Op> ops_;
+  std::vector<std::string> scope_;
+};
+
+/// A recorded, arena-planned, batch-bucketed inference program for one
+/// model replica. See the file comment for the lifecycle.
+class InferencePlan {
+ public:
+  /// Record `model`'s inference op sequence for per-sample inputs of shape
+  /// `sample_shape` ([C,H,W]) and batches of 1..max_batch, then plan the
+  /// arena. Throws PlanError when the model cannot be recorded (message
+  /// names the module), std::invalid_argument for bad arguments. The plan
+  /// keeps `model` alive (ops point into its parameter storage).
+  static std::shared_ptr<InferencePlan> compile(std::shared_ptr<Module> model,
+                                                const Shape& sample_shape,
+                                                std::int64_t max_batch);
+
+  InferencePlan(const InferencePlan&) = delete;
+  InferencePlan& operator=(const InferencePlan&) = delete;
+
+  /// Staging view for the next batch's input, shaped [batch, C, H, W] over
+  /// the arena. Fill it (memcpy per sample), then call execute(batch).
+  /// Valid until the plan is destroyed; no allocation.
+  [[nodiscard]] Tensor& input_view(std::int64_t batch);
+
+  /// Run the recorded ops over the staged input. Returns the logits view
+  /// [batch, classes]; the view's contents are valid until the next
+  /// execute/input_view fill. Performs zero heap allocations in steady
+  /// state (after each thread's first GEMM warmed its pack buffer).
+  Tensor& execute(std::int64_t batch);
+
+  [[nodiscard]] std::int64_t max_batch() const noexcept { return max_batch_; }
+  [[nodiscard]] const Shape& sample_shape() const;
+  [[nodiscard]] std::size_t op_count() const noexcept { return ops_.size(); }
+  [[nodiscard]] std::size_t arena_bytes() const noexcept {
+    return arena_floats_ * sizeof(float);
+  }
+  /// One line per op plus arena accounting (diagnostics, bench output).
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  using Op = PlanBuilder::Op;
+  using Value = PlanBuilder::Value;
+  struct Bucket {
+    std::int64_t capacity = 0;
+    std::vector<std::size_t> offsets;  ///< per root value, floats into arena
+    std::size_t scratch_offset = 0;
+    std::size_t total_floats = 0;
+  };
+
+  InferencePlan() = default;
+
+  void plan_arena();
+  [[nodiscard]] const Bucket& bucket_for(std::int64_t batch) const;
+  PlanValueId root(PlanValueId v) const noexcept;
+
+  std::shared_ptr<Module> model_;
+  std::vector<Value> values_;
+  std::vector<Op> ops_;
+  PlanValueId output_ = -1;
+  std::int64_t max_batch_ = 0;
+  std::size_t scratch_floats_ = 0;
+  std::vector<Bucket> buckets_;
+  std::vector<std::size_t> bucket_of_batch_;  ///< batch-1 -> bucket index
+  std::size_t arena_floats_ = 0;
+  std::unique_ptr<float[]> arena_;
+  std::vector<Tensor> input_views_;   ///< per batch size 1..max_batch
+  std::vector<Tensor> output_views_;  ///< per batch size 1..max_batch
+};
+
+}  // namespace fitact::nn

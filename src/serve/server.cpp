@@ -10,20 +10,38 @@
 
 namespace fitact::serve {
 
+void ServerOptions::validate() const {
+  if (lanes == 0) {
+    throw std::invalid_argument("ServerOptions: at least one lane required");
+  }
+  if (max_batch <= 0) {
+    throw std::invalid_argument("ServerOptions: max_batch must be positive");
+  }
+  if (batch_window.count() < 0) {
+    throw std::invalid_argument(
+        "ServerOptions: batch_window must be non-negative");
+  }
+  if (detection && clamp_rate_threshold < 0.0) {
+    throw std::invalid_argument(
+        "ServerOptions: clamp_rate_threshold must be non-negative when "
+        "detection is on (ev::make_server calibrates negative thresholds "
+        "before construction)");
+  }
+  if (max_recoveries_per_batch < 0) {
+    throw std::invalid_argument(
+        "ServerOptions: max_recoveries_per_batch must be non-negative");
+  }
+}
+
 InferenceServer::InferenceServer(const LaneFactory& factory,
-                                 ServerConfig config)
-    : config_(config) {
+                                 ServerOptions options)
+    : options_(options) {
   if (!factory) {
     throw std::invalid_argument("InferenceServer: null lane factory");
   }
-  if (config_.lanes == 0) {
-    throw std::invalid_argument("InferenceServer: at least one lane required");
-  }
-  if (config_.max_batch <= 0) {
-    throw std::invalid_argument("InferenceServer: max_batch must be positive");
-  }
-  lanes_.reserve(config_.lanes);
-  for (std::size_t i = 0; i < config_.lanes; ++i) {
+  options_.validate();
+  lanes_.reserve(options_.lanes);
+  for (std::size_t i = 0; i < options_.lanes; ++i) {
     auto state = std::make_unique<LaneState>();
     // No lane thread exists yet, but LaneState::lane is guarded by the lane
     // mutex and this is not LaneState's own constructor, so take the
@@ -41,7 +59,7 @@ InferenceServer::InferenceServer(const LaneFactory& factory,
     // Detection is thresholded on the sites' clamp counters; a lane whose
     // sites never count would make the detector silently inert, so the
     // server owns enabling it (a factory may still have done so already).
-    if (config_.detection) {
+    if (options_.detection) {
       for (const auto& site : state->lane.sites) {
         site->set_clamp_counting(true);
       }
@@ -49,9 +67,9 @@ InferenceServer::InferenceServer(const LaneFactory& factory,
     state->lane.model->set_training(false);
     lanes_.push_back(std::move(state));
   }
-  threads_.reserve(config_.lanes);
+  threads_.reserve(options_.lanes);
   try {
-    for (std::size_t i = 0; i < config_.lanes; ++i) {
+    for (std::size_t i = 0; i < options_.lanes; ++i) {
       threads_.emplace_back([this, i] { lane_loop(i); });
     }
   } catch (...) {
@@ -151,14 +169,14 @@ void InferenceServer::lane_loop(std::size_t index) {
       const ut::LockGuard lock(queue_mutex_);
       while (!stopping_ && queue_.empty()) queue_cv_.wait(queue_mutex_);
       if (queue_.empty()) return;  // stopping, and fully drained
-      if (config_.batch_window.count() > 0 &&
-          queue_.size() < static_cast<std::size_t>(config_.max_batch)) {
+      if (options_.batch_window.count() > 0 &&
+          queue_.size() < static_cast<std::size_t>(options_.max_batch)) {
         // Found work but not a full batch: wait up to the batching window
         // for more arrivals, then take what's there.
         const auto deadline =
-            std::chrono::steady_clock::now() + config_.batch_window;
+            std::chrono::steady_clock::now() + options_.batch_window;
         while (!stopping_ &&
-               queue_.size() < static_cast<std::size_t>(config_.max_batch)) {
+               queue_.size() < static_cast<std::size_t>(options_.max_batch)) {
           if (queue_cv_.wait_until(queue_mutex_, deadline) ==
               std::cv_status::timeout) {
             break;
@@ -166,7 +184,7 @@ void InferenceServer::lane_loop(std::size_t index) {
         }
       }
       const std::size_t take = std::min(
-          queue_.size(), static_cast<std::size_t>(config_.max_batch));
+          queue_.size(), static_cast<std::size_t>(options_.max_batch));
       batch.reserve(take);
       for (std::size_t i = 0; i < take; ++i) {
         batch.push_back(std::move(queue_.front()));
@@ -198,14 +216,39 @@ void InferenceServer::process_batch(std::size_t index,
   try {
     const std::int64_t b = static_cast<std::int64_t>(batch.size());
     const std::int64_t sample_numel = batch.front().image.numel();
-    std::vector<std::int64_t> dims;
-    dims.push_back(b);
     const Shape& s0 = batch.front().image.shape();
     const std::size_t skip = s0.rank() == 4 ? 1 : 0;  // leading [1,...]
-    for (std::size_t d = skip; d < s0.rank(); ++d) dims.push_back(s0[d]);
-    Tensor input{Shape(dims)};
+
+    // Planned execution: when the lane carries a plan whose compiled sample
+    // shape and batch range cover this batch, stage the samples straight
+    // into the plan's arena and run the recorded program — the steady-state
+    // hot path, zero heap allocations inside execute(). Anything else (plan
+    // disabled, unrecordable model, out-of-range batch, shape mismatch)
+    // takes the eager forward; outputs are bit-identical either way.
+    nn::InferencePlan* plan = nullptr;
+    if (options_.plan && state.lane.plan &&
+        b <= state.lane.plan->max_batch()) {
+      const Shape& ps = state.lane.plan->sample_shape();
+      bool match = ps.rank() + skip == s0.rank();
+      for (std::size_t d = 0; match && d < ps.rank(); ++d) {
+        match = ps[d] == s0[d + skip];
+      }
+      if (match) plan = state.lane.plan.get();
+    }
+
+    Tensor input;  // eager staging buffer; planned batches stage in-arena
+    float* staging = nullptr;
+    if (plan != nullptr) {
+      staging = plan->input_view(b).data();
+    } else {
+      std::vector<std::int64_t> dims;
+      dims.push_back(b);
+      for (std::size_t d = skip; d < s0.rank(); ++d) dims.push_back(s0[d]);
+      input = Tensor{Shape(dims)};
+      staging = input.data();
+    }
     for (std::int64_t i = 0; i < b; ++i) {
-      std::memcpy(input.data() + i * sample_numel, batch[i].image.data(),
+      std::memcpy(staging + i * sample_numel, batch[i].image.data(),
                   static_cast<std::size_t>(sample_numel) * sizeof(float));
     }
 
@@ -214,9 +257,15 @@ void InferenceServer::process_batch(std::size_t index,
     // (core::peak_site_clamp_rate). Pooling all sites into one ratio would
     // let the large early conv maps (tens of thousands of activations)
     // drown out a saturating fault in a small late layer (a 64-neuron head
-    // contributes at most 64 events).
+    // contributes at most 64 events). Planned forwards feed the same site
+    // counters (the bound-clamp op fuses counting into its kernel pass), so
+    // detection and recovery are path-agnostic.
     const auto forward_once = [&]() -> std::pair<Tensor, double> {
       core::reset_clamp_counters(state.lane.sites);
+      if (plan != nullptr) {
+        const Tensor& out = plan->execute(b);
+        return {out, core::peak_site_clamp_rate(state.lane.sites)};
+      }
       const Variable out = state.lane.model->forward(Variable(input));
       return {out.value(), core::peak_site_clamp_rate(state.lane.sites)};
     };
@@ -228,9 +277,9 @@ void InferenceServer::process_batch(std::size_t index,
     std::uint64_t detections = 0;
     std::uint64_t recoveries = 0;
     bool recovered = false;
-    if (config_.detection && rate > config_.clamp_rate_threshold) {
+    if (options_.detection && rate > options_.clamp_rate_threshold) {
       ++detections;
-      for (int attempt = 0; attempt < config_.max_recoveries_per_batch;
+      for (int attempt = 0; attempt < options_.max_recoveries_per_batch;
            ++attempt) {
         // Memory scrubbing: write the clean image back over the (presumed
         // faulty) live parameters, then re-run the batch on clean state.
@@ -239,11 +288,11 @@ void InferenceServer::process_batch(std::size_t index,
         recovered = true;
         fwd = forward_once();
         ++forwards;
-        if (rate <= config_.clamp_rate_threshold) break;
+        if (rate <= options_.clamp_rate_threshold) break;
       }
     }
     const bool post_recovery_alarm =
-        recovered && rate > config_.clamp_rate_threshold;
+        recovered && rate > options_.clamp_rate_threshold;
 
     {
       const ut::LockGuard lock(stats_mutex_);

@@ -45,13 +45,19 @@
 
 #include "core/activation.h"
 #include "nn/module.h"
+#include "nn/plan.h"
 #include "quant/param_image.h"
 #include "tensor/tensor.h"
 #include "util/thread_annotations.h"
 
 namespace fitact::serve {
 
-struct ServerConfig {
+/// Everything a server's shape is made of, validated in one place:
+/// InferenceServer's constructor calls validate(), so every invalid
+/// combination surfaces through the same std::invalid_argument path no
+/// matter which layer (examples, benches, ev::make_server) assembled the
+/// options.
+struct ServerOptions {
   /// Worker lanes; each lane runs its own replica on its own thread.
   std::size_t lanes = 1;
   /// Requests per micro-batch (upper bound).
@@ -65,7 +71,9 @@ struct ServerConfig {
   /// Peak per-site clamp rate (one site's clamp events / activations
   /// inspected, maximised over the model's activation sites) above which a
   /// lane declares a parameter fault. ev::make_server can calibrate this
-  /// from clean traffic.
+  /// from clean traffic (it treats a negative value as "calibrate"; by the
+  /// time options reach InferenceServer a detection threshold must be
+  /// non-negative).
   double clamp_rate_threshold = 0.05;
   /// Scrub-and-re-run attempts per batch. After the last attempt the batch
   /// is served from the scrubbed (clean) parameters even if the rate is
@@ -73,6 +81,16 @@ struct ServerConfig {
   /// the threshold is miscalibrated for this traffic, not that the
   /// parameters are faulty.
   int max_recoveries_per_batch = 1;
+  /// Serve through recorded nn::InferencePlans when lanes carry them
+  /// (ev::make_server compiles one per lane): zero-allocation steady-state
+  /// execution. Lanes without a plan — or batches the plan cannot take —
+  /// fall back to the eager forward path; outputs are bit-identical either
+  /// way, so this is purely a performance switch.
+  bool plan = true;
+
+  /// Throws std::invalid_argument on the first invalid field. The single
+  /// error path for server shape problems.
+  void validate() const;
 };
 
 struct RequestResult {
@@ -104,6 +122,12 @@ struct Lane {
   std::shared_ptr<nn::Module> model;
   std::shared_ptr<quant::ParamImage> image;
   std::vector<std::shared_ptr<core::BoundedActivation>> sites;
+  /// Optional recorded execution plan for this lane's model (compiled by
+  /// ev::make_server). When present and ServerOptions::plan is set, batches
+  /// within the plan's compiled range run through it instead of the eager
+  /// forward. The plan must have been compiled from this lane's model (it
+  /// shares the model's parameter storage and activation sites).
+  std::shared_ptr<nn::InferencePlan> plan;
 };
 
 /// Builds lane `index` (0-based). Every lane must return an independent
@@ -115,10 +139,10 @@ using LaneFactory = std::function<Lane(std::size_t index)>;
 class InferenceServer {
  public:
   /// Builds every lane on the calling thread, then starts the lane threads.
-  /// Throws std::invalid_argument for a null factory, zero-lane or
-  /// non-positive-batch configs, or a factory that returns a lane without a
+  /// Throws std::invalid_argument for a null factory, options that fail
+  /// ServerOptions::validate(), or a factory that returns a lane without a
   /// model or image.
-  InferenceServer(const LaneFactory& factory, ServerConfig config);
+  InferenceServer(const LaneFactory& factory, ServerOptions options);
 
   /// Stops accepting work, drains every queued request, and joins the lane
   /// threads. Pending promises are always fulfilled.
@@ -143,7 +167,9 @@ class InferenceServer {
   [[nodiscard]] std::size_t lane_count() const noexcept {
     return lanes_.size();
   }
-  [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
 
   /// Exclusive access to a lane's live model and clean image while the lane
   /// is between batches — the hook fault-injection benches and tests use to
@@ -166,7 +192,7 @@ class InferenceServer {
   void lane_loop(std::size_t index);
   void process_batch(std::size_t index, std::vector<Request>& batch);
 
-  ServerConfig config_;  ///< immutable after construction
+  ServerOptions options_;  ///< immutable after construction
   std::vector<std::unique_ptr<LaneState>> lanes_;  ///< vector itself immutable
   std::vector<std::thread> threads_;
 

@@ -107,7 +107,11 @@ void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
   const std::int64_t row_blocks = (m + kBlockM - 1) / kBlockM;
   ut::parallel_for(0, static_cast<std::size_t>(row_blocks), [&](std::size_t bb,
                                                                 std::size_t be) {
-    std::vector<float> apack(static_cast<std::size_t>(kBlockM * kBlockK));
+    // Constant-size pack buffer, reused across calls on each thread: GEMM
+    // sits on the zero-allocation planned-serving path (nn/plan.h), so the
+    // panel buffer must not be a fresh vector per call.
+    thread_local std::vector<float> apack(
+        static_cast<std::size_t>(kBlockM * kBlockK));
     for (std::size_t blk = bb; blk < be; ++blk) {
       const std::int64_t i0 = static_cast<std::int64_t>(blk) * kBlockM;
       const std::int64_t mb = std::min<std::int64_t>(kBlockM, m - i0);

@@ -61,6 +61,13 @@ Tensor Tensor::scalar(float value) {
   return t;
 }
 
+Tensor Tensor::view(Shape shape, float* data) noexcept {
+  // Aliasing constructor with an empty owner: no control block is
+  // allocated and the view never participates in ownership.
+  return Tensor(std::move(shape),
+                std::shared_ptr<float[]>(std::shared_ptr<float[]>(), data));
+}
+
 namespace {
 std::int64_t checked_flat_index(const Shape& shape,
                                 std::initializer_list<std::int64_t> idx) {

@@ -39,6 +39,11 @@ class Tensor {
   static Tensor from_values(std::initializer_list<float> values);
   /// Scalar (shape [1]).
   static Tensor scalar(float value);
+  /// Non-owning view over caller-managed storage (e.g. an InferencePlan
+  /// arena). The returned tensor shares no ownership: the caller must keep
+  /// `data` alive for the view's lifetime, and clone() is the way to detach
+  /// a result from it. Constructing a view performs no heap allocation.
+  static Tensor view(Shape shape, float* data) noexcept;
 
   [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
   [[nodiscard]] std::int64_t numel() const noexcept { return numel_; }

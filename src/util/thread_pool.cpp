@@ -217,6 +217,12 @@ void ThreadPool::parallel_for_each(std::size_t begin, std::size_t end,
   sync->wait_all();
 }
 
+InlineKernelScope::InlineKernelScope() noexcept : previous_(tl_in_worker) {
+  tl_in_worker = true;
+}
+
+InlineKernelScope::~InlineKernelScope() { tl_in_worker = previous_; }
+
 namespace {
 // Atomic for TSan hygiene: a misuse that calls set_global_threads while
 // another thread races global_pool() is still a logic error (the setting
@@ -246,9 +252,6 @@ ThreadPool& global_pool() {
   return pool;
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t, std::size_t)>& fn) {
-  global_pool().parallel_for(begin, end, fn);
-}
+bool kernels_inline() noexcept { return tl_in_worker; }
 
 }  // namespace fitact::ut

@@ -69,6 +69,24 @@ class ThreadPool {
   bool stop_ FITACT_GUARDED_BY(mutex_) = false;
 };
 
+/// RAII: run every nested parallel_for / parallel_for_each on the current
+/// thread, inline and allocation-free, for the lifetime of the scope — the
+/// same mechanism pool workers use so nested kernels never re-enter a pool.
+/// Serving lanes executing a recorded nn::InferencePlan wrap each batch in
+/// one of these: the lane threads already saturate the hardware threads, so
+/// fanning kernel work over the global pool would only oversubscribe cores
+/// and heap-allocate task state on the hot path.
+class InlineKernelScope {
+ public:
+  InlineKernelScope() noexcept;
+  ~InlineKernelScope();
+  InlineKernelScope(const InlineKernelScope&) = delete;
+  InlineKernelScope& operator=(const InlineKernelScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Default worker count for "use every hardware thread" requests: the
 /// hardware concurrency, or 2 when the runtime cannot report it.
 [[nodiscard]] std::size_t default_thread_count() noexcept;
@@ -80,8 +98,23 @@ ThreadPool& global_pool();
 /// use to take effect. Returns the size that will be used.
 std::size_t set_global_threads(std::size_t n);
 
-/// Convenience wrappers over global_pool().
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t, std::size_t)>& fn);
+/// True while the current thread must run kernels inline — it is a pool
+/// worker or inside an InlineKernelScope.
+[[nodiscard]] bool kernels_inline() noexcept;
+
+/// Convenience wrapper over global_pool(). A template (not a
+/// std::function parameter) so the inline path calls fn directly: type
+/// erasure heap-allocates for capturing lambdas, which would put one
+/// allocation per kernel launch on the zero-allocation planned-serving
+/// hot path (nn/plan.h).
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, const Fn& fn) {
+  if (begin >= end) return;
+  if (kernels_inline()) {
+    fn(begin, end);
+    return;
+  }
+  global_pool().parallel_for(begin, end, fn);
+}
 
 }  // namespace fitact::ut

@@ -1,0 +1,325 @@
+// Tests for recorded inference plans (src/nn/plan.h): planned execution
+// must be bit-identical to the eager forward path for every zoo model and
+// batch size, steady-state execute must not touch the heap, planned serving
+// lanes must agree bit-for-bit with eager lanes at every lane count, and
+// recording must fail loudly (naming the module) for train-only modules and
+// modules without a record() override.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/activation.h"
+#include "core/protection.h"
+#include "eval/experiment.h"
+#include "eval/serving.h"
+#include "models/registry.h"
+#include "nn/layers.h"
+#include "nn/plan.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+// Allocation counting is meaningless under sanitizers (their runtimes own
+// the allocator and allocate internally), so the counter and its test are
+// compiled out there.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FITACT_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define FITACT_COUNT_ALLOCS 0
+#else
+#define FITACT_COUNT_ALLOCS 1
+#endif
+#else
+#define FITACT_COUNT_ALLOCS 1
+#endif
+
+#if FITACT_COUNT_ALLOCS
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_malloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+// Counting replacements for the global allocation functions; only the
+// unaligned forms are replaced (over-aligned allocations fall through to
+// the default aligned operator new, uncounted — none occur on the plan
+// execute path).
+void* operator new(std::size_t size) { return counted_malloc(size); }
+void* operator new[](std::size_t size) { return counted_malloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // FITACT_COUNT_ALLOCS
+
+namespace fitact {
+namespace {
+
+/// Zoo model at test width, in eval mode, with bounds seeded from a short
+/// random-input profiling pass when the scheme needs them.
+std::shared_ptr<nn::Module> zoo_model(const std::string& name,
+                                      core::Scheme scheme,
+                                      std::uint64_t seed) {
+  models::ModelConfig cfg;
+  cfg.num_classes = 10;
+  cfg.width_mult = 0.125f;
+  cfg.seed = seed;
+  auto model = name == "tinycnn" ? models::make_tinycnn(cfg)
+                                 : models::make_model(name, cfg);
+  model->set_training(false);
+  if (scheme != core::Scheme::relu) {
+    const auto sites = core::collect_activations(*model);
+    for (const auto& site : sites) site->set_profiling(true);
+    ut::Rng rng(seed + 1);
+    const NoGradGuard no_grad;
+    for (int i = 0; i < 2; ++i) {
+      (void)model->forward(
+          Variable(Tensor::randn(Shape{2, 3, 32, 32}, rng), false));
+    }
+    for (const auto& site : sites) site->set_profiling(false);
+    core::apply_protection(*model, scheme);
+  }
+  return model;
+}
+
+void expect_bit_identical(const Tensor& got, const Tensor& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.numel(), want.numel()) << context;
+  for (std::int64_t j = 0; j < got.numel(); ++j) {
+    ASSERT_EQ(got[j], want[j]) << context << " element " << j;
+  }
+}
+
+// Acceptance contract: for every zoo model, planned execution reproduces
+// the eager forward bit-for-bit at batch sizes 1 / 3 / 8 (covering exact
+// bucket hits and batches rounded up into a larger bucket), including on
+// repeated executes of the same plan (steady state).
+class PlanZoo : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PlanZoo, PlanMatchesEagerBitForBitAcrossBatchSizes) {
+  const auto model = zoo_model(GetParam(), core::Scheme::fitrelu, 7);
+  const auto plan = nn::InferencePlan::compile(model, Shape{3, 32, 32}, 8);
+  EXPECT_GT(plan->op_count(), 0u);
+  ut::Rng rng(99);
+  const NoGradGuard no_grad;
+  for (const std::int64_t b : {1, 3, 8}) {
+    const Tensor x = Tensor::randn(Shape{b, 3, 32, 32}, rng);
+    const Tensor want = model->forward(Variable(x, false)).value();
+    Tensor& staging = plan->input_view(b);
+    std::memcpy(staging.data(), x.data(),
+                sizeof(float) * static_cast<std::size_t>(x.numel()));
+    for (int pass = 0; pass < 2; ++pass) {
+      const Tensor& got = plan->execute(b);
+      expect_bit_identical(got, want,
+                           std::string(GetParam()) + " batch " +
+                               std::to_string(b) + " pass " +
+                               std::to_string(pass));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PlanZoo,
+                         ::testing::Values("tinycnn", "alexnet", "vgg16",
+                                           "resnet50"));
+
+// Unbounded ReLU models plan too (no bounds required at record time).
+TEST(Plan, ReluSchemeMatchesEager) {
+  const auto model = zoo_model("tinycnn", core::Scheme::relu, 13);
+  const auto plan = nn::InferencePlan::compile(model, Shape{3, 32, 32}, 4);
+  ut::Rng rng(17);
+  const NoGradGuard no_grad;
+  const Tensor x = Tensor::randn(Shape{4, 3, 32, 32}, rng);
+  const Tensor want = model->forward(Variable(x, false)).value();
+  std::memcpy(plan->input_view(4).data(), x.data(),
+              sizeof(float) * static_cast<std::size_t>(x.numel()));
+  expect_bit_identical(plan->execute(4), want, "relu tinycnn");
+}
+
+// Re-protection after compile stays visible: the plan reads each site's
+// scheme and bound storage at execute time, so switching schemes on the
+// live model switches the planned outputs with it.
+TEST(Plan, SeesSchemeChangesAppliedAfterCompile) {
+  const auto model = zoo_model("tinycnn", core::Scheme::clip_act, 23);
+  const auto plan = nn::InferencePlan::compile(model, Shape{3, 32, 32}, 2);
+  ut::Rng rng(29);
+  const NoGradGuard no_grad;
+  const Tensor x = Tensor::randn(Shape{2, 3, 32, 32}, rng);
+  core::apply_protection(*model, core::Scheme::fitrelu);
+  const Tensor want = model->forward(Variable(x, false)).value();
+  std::memcpy(plan->input_view(2).data(), x.data(),
+              sizeof(float) * static_cast<std::size_t>(x.numel()));
+  expect_bit_identical(plan->execute(2), want, "post-compile fitrelu");
+}
+
+// Serving matrix: planned lanes and eager lanes produce bit-identical
+// responses for the same requests at every lane count x batch size.
+TEST(PlanServe, PlannedLanesMatchEagerLanesBitForBit) {
+  ev::ExperimentScale scale = ev::ExperimentScale::scaled();
+  scale.train_size = 96;
+  scale.test_size = 48;
+  scale.train_epochs = 2;
+  scale.eval_samples = 24;
+  ev::PreparedModel pm = ev::prepare_model("tinycnn", 10, scale, "", 31);
+  (void)ev::protect_model(pm, core::Scheme::clip_act, scale);
+
+  std::vector<Tensor> samples;
+  std::vector<std::int64_t> labels;
+  for (std::int64_t i = 0; i < 24; ++i) {
+    samples.push_back(pm.test->batch(i, 1, &labels));
+  }
+
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}}) {
+    for (const std::int64_t batch : {1, 3, 8}) {
+      const auto run = [&](bool planned) {
+        ev::ServeOptions options;
+        options.server.lanes = lanes;
+        options.server.max_batch = batch;
+        options.server.batch_window = std::chrono::microseconds(0);
+        options.server.plan = planned;
+        const auto server = ev::make_server(pm, options);
+        std::vector<Tensor> out;
+        out.reserve(samples.size());
+        for (const auto& s : samples) {
+          out.push_back(server->infer(s).logits.clone());
+        }
+        return out;
+      };
+      const std::vector<Tensor> planned = run(true);
+      const std::vector<Tensor> eager = run(false);
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        expect_bit_identical(planned[i], eager[i],
+                             "lanes " + std::to_string(lanes) + " batch " +
+                                 std::to_string(batch) + " request " +
+                                 std::to_string(i));
+      }
+    }
+  }
+}
+
+#if FITACT_COUNT_ALLOCS
+// Acceptance contract: steady-state execute performs zero heap
+// allocations. Two warm-up executes pay the one-time lazy costs (the GEMM
+// pack buffer is thread_local), then eight measured executes must leave
+// the global allocation counter untouched.
+TEST(PlanAllocations, SteadyStateExecuteDoesNotTouchTheHeap) {
+  const auto model = zoo_model("tinycnn", core::Scheme::clip_act, 11);
+  const auto plan = nn::InferencePlan::compile(model, Shape{3, 32, 32}, 4);
+  ut::Rng rng(5);
+  const Tensor x = Tensor::randn(Shape{4, 3, 32, 32}, rng);
+  std::memcpy(plan->input_view(4).data(), x.data(),
+              sizeof(float) * static_cast<std::size_t>(x.numel()));
+  (void)plan->execute(4);
+  (void)plan->execute(4);
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 8; ++i) (void)plan->execute(4);
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state execute allocated " << (after - before) << " times";
+}
+#endif  // FITACT_COUNT_ALLOCS
+
+// A module with no record() override must fail at compile time (not at
+// execute, not silently) with a message naming the module type.
+class Unrecordable final : public nn::Module {
+ public:
+  Variable forward(const Variable& x) override { return x; }
+};
+
+TEST(PlanRecord, ModuleWithoutRecordOverrideFailsNamingTheType) {
+  auto seq = std::make_shared<nn::Sequential>();
+  seq->add(std::make_shared<nn::Flatten>());
+  seq->add(std::make_shared<Unrecordable>());
+  try {
+    (void)nn::InferencePlan::compile(seq, Shape{3, 4, 4}, 1);
+    FAIL() << "expected PlanError";
+  } catch (const nn::PlanError& e) {
+    EXPECT_NE(std::string(e.what()).find("Unrecordable"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("record"), std::string::npos)
+        << e.what();
+  }
+}
+
+// Active Dropout is a training-only transform; recording it must fail with
+// instructions, while eval-mode Dropout records as an explicit no-op.
+TEST(PlanRecord, ActiveDropoutFailsAndEvalDropoutIsANoop) {
+  ut::Rng rng(3);
+  auto seq = std::make_shared<nn::Sequential>();
+  seq->add(std::make_shared<nn::Flatten>());
+  seq->add(std::make_shared<nn::Linear>(12, 4, true, rng));
+  seq->add(std::make_shared<nn::Dropout>(0.5f));
+
+  seq->set_training(true);
+  try {
+    (void)nn::InferencePlan::compile(seq, Shape{3, 2, 2}, 1);
+    FAIL() << "expected PlanError";
+  } catch (const nn::PlanError& e) {
+    EXPECT_NE(std::string(e.what()).find("Dropout"), std::string::npos)
+        << e.what();
+  }
+
+  seq->set_training(false);
+  const auto plan = nn::InferencePlan::compile(seq, Shape{3, 2, 2}, 2);
+  const NoGradGuard no_grad;
+  const Tensor x = Tensor::randn(Shape{2, 3, 2, 2}, rng);
+  const Tensor want = seq->forward(Variable(x, false)).value();
+  std::memcpy(plan->input_view(2).data(), x.data(),
+              sizeof(float) * static_cast<std::size_t>(x.numel()));
+  expect_bit_identical(plan->execute(2), want, "eval dropout noop");
+}
+
+// BatchNorm2d uses batch statistics in training mode, which a plan cannot
+// reproduce; recording must require eval mode.
+TEST(PlanRecord, TrainingModeBatchNormFails) {
+  ut::Rng rng(4);
+  auto seq = std::make_shared<nn::Sequential>();
+  seq->add(std::make_shared<nn::BatchNorm2d>(3));
+  seq->set_training(true);
+  EXPECT_THROW((void)nn::InferencePlan::compile(seq, Shape{3, 4, 4}, 1),
+               nn::PlanError);
+}
+
+// ServerOptions::validate is the single error path for the collapsed
+// make_server configuration surface.
+TEST(ServerOptions, ValidateRejectsBadConfigurations) {
+  serve::ServerOptions good;
+  EXPECT_NO_THROW(good.validate());
+
+  serve::ServerOptions o = good;
+  o.lanes = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+
+  o = good;
+  o.max_batch = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+
+  o = good;
+  o.batch_window = std::chrono::microseconds(-1);
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+
+  o = good;
+  o.detection = true;
+  o.clamp_rate_threshold = -0.5;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+
+  o = good;
+  o.max_recoveries_per_batch = -1;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fitact

@@ -249,23 +249,23 @@ TEST(Serve, RejectsMalformedRequestsAndConfigs) {
   EXPECT_THROW(server->with_lane(99, [](nn::Module&, quant::ParamImage&) {}),
                std::out_of_range);
 
-  serve::ServerConfig bad;
+  serve::ServerOptions bad;
   bad.lanes = 0;
   EXPECT_THROW(serve::InferenceServer(
                    [](std::size_t) { return serve::Lane{}; }, bad),
                std::invalid_argument);
-  serve::ServerConfig bad_batch;
+  serve::ServerOptions bad_batch;
   bad_batch.max_batch = 0;
   EXPECT_THROW(serve::InferenceServer(
                    [](std::size_t) { return serve::Lane{}; }, bad_batch),
                std::invalid_argument);
   EXPECT_THROW(serve::InferenceServer(serve::LaneFactory{},
-                                      serve::ServerConfig{}),
+                                      serve::ServerOptions{}),
                std::invalid_argument);
   // A factory handing back an empty lane is rejected too.
   EXPECT_THROW(serve::InferenceServer(
                    [](std::size_t) { return serve::Lane{}; },
-                   serve::ServerConfig{}),
+                   serve::ServerOptions{}),
                std::invalid_argument);
 }
 
