@@ -17,6 +17,7 @@
 #include "nn/layers.h"
 #include "nn/plan.h"
 #include "tensor/gemm.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
@@ -24,7 +25,14 @@ namespace {
 
 using namespace fitact;
 
-void BM_Sgemm(benchmark::State& state) {
+// The dispatched-vs-scalar pairs below (BM_Sgemm / BM_SgemmScalar, the
+// activation family / BM_ActivationClipActScalar, BM_ModelForwardPlanned /
+// BM_ModelForwardPlannedScalar) are the kernel-dispatch A/B: the unsuffixed
+// form runs whatever backend the process resolved (AVX2 where supported),
+// the Scalar form pins the portable backend for the duration of the
+// benchmark. On a host without AVX2 the pairs coincide.
+
+void sgemm_bench(benchmark::State& state) {
   const auto n = state.range(0);
   ut::Rng rng(1);
   const Tensor a = Tensor::randn(Shape{n, n}, rng);
@@ -37,7 +45,15 @@ void BM_Sgemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
+
+void BM_Sgemm(benchmark::State& state) { sgemm_bench(state); }
 BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SgemmScalar(benchmark::State& state) {
+  const kern::BackendGuard guard(kern::Backend::scalar);
+  sgemm_bench(state);
+}
+BENCHMARK(BM_SgemmScalar)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Conv2dForward(benchmark::State& state) {
   const auto ch = state.range(0);
@@ -90,8 +106,13 @@ void BM_ActivationFitReluNaive(benchmark::State& state) {
 void BM_ActivationFitRelu(benchmark::State& state) {
   activation_bench(state, core::Scheme::fitrelu);
 }
+void BM_ActivationClipActScalar(benchmark::State& state) {
+  const kern::BackendGuard guard(kern::Backend::scalar);
+  activation_bench(state, core::Scheme::clip_act);
+}
 BENCHMARK(BM_ActivationRelu);
 BENCHMARK(BM_ActivationClipAct);
+BENCHMARK(BM_ActivationClipActScalar);
 BENCHMARK(BM_ActivationRanger);
 BENCHMARK(BM_ActivationFitReluNaive);
 BENCHMARK(BM_ActivationFitRelu);
@@ -131,7 +152,7 @@ void BM_ModelForwardEager(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelForwardEager)->Arg(1)->Arg(8);
 
-void BM_ModelForwardPlanned(benchmark::State& state) {
+void planned_forward_bench(benchmark::State& state) {
   const auto batch = state.range(0);
   const auto model = protected_tinycnn();
   const auto plan = nn::InferencePlan::compile(model, Shape{3, 32, 32}, 8);
@@ -145,7 +166,17 @@ void BM_ModelForwardPlanned(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * batch);
 }
+
+void BM_ModelForwardPlanned(benchmark::State& state) {
+  planned_forward_bench(state);
+}
 BENCHMARK(BM_ModelForwardPlanned)->Arg(1)->Arg(8);
+
+void BM_ModelForwardPlannedScalar(benchmark::State& state) {
+  const kern::BackendGuard guard(kern::Backend::scalar);
+  planned_forward_bench(state);
+}
+BENCHMARK(BM_ModelForwardPlannedScalar)->Arg(1)->Arg(8);
 
 void BM_FixedPointEncode(benchmark::State& state) {
   ut::Rng rng(4);

@@ -49,6 +49,25 @@ if [[ -n "$MUTEX_HITS" ]]; then
 fi
 
 # --------------------------------------------------------------------------
+# Grep lint 3: SIMD containment. Vector intrinsics live only in
+# src/tensor/kernels/ — the one layer compiled with -mavx2/-mfma and gated
+# by runtime cpuid. An intrinsics include anywhere else either crashes on
+# older hosts (illegal instruction under baseline flags is one inlining
+# decision away) or bypasses the process-wide dispatch that keeps
+# plan-vs-eager outputs bit-identical. Everything routes through
+# tensor/kernels/kernels.h.
+# --------------------------------------------------------------------------
+SIMD_HITS=$(grep -rnE '#[[:space:]]*include[[:space:]]*[<"](immintrin|x86intrin|xmmintrin|emmintrin|pmmintrin|tmmintrin|smmintrin|nmmintrin|avxintrin|avx2intrin|arm_neon)\.h' \
+  src bench tests examples --include='*.h' --include='*.cpp' 2>/dev/null \
+  | grep -v '^src/tensor/kernels/' || true)
+if [[ -n "$SIMD_HITS" ]]; then
+  echo "lint: raw SIMD intrinsics include outside src/tensor/kernels/" \
+       "(dispatch through tensor/kernels/kernels.h):"
+  echo "$SIMD_HITS"
+  STATUS=1
+fi
+
+# --------------------------------------------------------------------------
 # clang-tidy over every translation unit in src/, configured by .clang-tidy
 # at the repo root. Uses the compile database the build exports
 # (CMAKE_EXPORT_COMPILE_COMMANDS is always on); configures a build tree

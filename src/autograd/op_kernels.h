@@ -13,6 +13,14 @@
 //
 // Kernels write through raw pointers (eager ops pass freshly allocated
 // Tensors, plans pass arena offsets) and never allocate.
+//
+// The hot inner loops (ReLU, bound-clamp with event counting, elementwise
+// add, bias adds, and the GEMM behind linear/conv) dispatch through the
+// runtime kernel layer (tensor/kernels/kernels.h): AVX2/FMA on hosts that
+// have it, the portable scalar backend otherwise. The elementwise kernels
+// are bit-identical across backends, so the plan-vs-eager output contract
+// is unaffected by dispatch; forcing the scalar backend (FITACT_KERNELS=
+// scalar) A/Bs the whole forward path on any host.
 #pragma once
 
 #include <cmath>
@@ -21,6 +29,7 @@
 #include <string>
 
 #include "tensor/gemm.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/shape.h"
 #include "tensor/tensor_ops.h"
 
@@ -86,12 +95,12 @@ struct FeatureBroadcast {
 // ---- elementwise -----------------------------------------------------------
 
 inline void relu_forward(const float* x, float* o, std::int64_t n) noexcept {
-  for (std::int64_t i = 0; i < n; ++i) o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  kern::relu(x, o, n);
 }
 
 inline void add_forward(const float* a, const float* b, float* o,
                         std::int64_t n) noexcept {
-  for (std::int64_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+  kern::add(a, b, o, n);
 }
 
 /// Bounded ReLU over n contiguous elements (any number of batch rows).
@@ -105,20 +114,8 @@ inline std::uint64_t clipped_relu_forward(const float* x, const float* bound,
                                           ClipMode mode, float* o,
                                           std::int64_t n,
                                           bool count = false) noexcept {
-  std::uint64_t events = 0;
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float xi = x[i];
-    const float bi = bound[fb.map(i % fb.feat, bound_numel)];
-    if (count) events += xi > bi;
-    if (xi <= 0.0f) {
-      o[i] = 0.0f;
-    } else if (xi <= bi) {
-      o[i] = xi;
-    } else {
-      o[i] = (mode == ClipMode::zero_above) ? 0.0f : bi;
-    }
-  }
-  return events;
+  return kern::clipped_relu(x, bound, bound_numel, fb.feat, fb.hw,
+                            mode == ClipMode::saturate, o, n, count);
 }
 
 /// Trainable FitReLU forward (paper Eq. 6): y = max(0, x*sigmoid(k*(l-x))).
@@ -161,8 +158,7 @@ inline void linear_forward(std::int64_t batch, std::int64_t in,
         out, out_f);
   if (bias_or_null != nullptr) {
     for (std::int64_t r = 0; r < batch; ++r) {
-      float* row = out + r * out_f;
-      for (std::int64_t o = 0; o < out_f; ++o) row[o] += bias_or_null[o];
+      kern::bias_add_row(out + r * out_f, bias_or_null, out_f);
     }
   }
 }
@@ -183,9 +179,7 @@ inline void conv2d_forward_sample(const Conv2dGeometry& geo, std::int64_t out_c,
         out_sample, ohw);
   if (bias_or_null != nullptr) {
     for (std::int64_t c = 0; c < out_c; ++c) {
-      float* row = out_sample + c * ohw;
-      const float bc = bias_or_null[c];
-      for (std::int64_t i = 0; i < ohw; ++i) row[i] += bc;
+      kern::bias_add_const(out_sample + c * ohw, bias_or_null[c], ohw);
     }
   }
 }

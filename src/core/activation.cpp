@@ -6,6 +6,7 @@
 
 #include "autograd/ops.h"
 #include "nn/plan.h"
+#include "tensor/kernels/kernels.h"
 
 namespace fitact::core {
 
@@ -158,22 +159,12 @@ void BoundedActivation::count_clamps(const Tensor& x) {
   (void)was_busy;
 #endif
   const Tensor& b = bounds_.value();
-  const float* px = x.data();
-  const float* pb = b.data();
   const std::int64_t n = x.numel();
-  const std::int64_t extent = b.numel();
-  std::uint64_t events = 0;
-  if (extent == 1) {
-    const float bound = pb[0];
-    for (std::int64_t i = 0; i < n; ++i) events += px[i] > bound;
-  } else if (extent == channels_ && extent != feat_) {
-    for (std::int64_t i = 0; i < n; ++i) {
-      events += px[i] > pb[(i % feat_) / hw_];
-    }
-  } else {
-    // Per-neuron extent (the broadcast fallback clipped_relu/fitrelu use).
-    for (std::int64_t i = 0; i < n; ++i) events += px[i] > pb[i % feat_];
-  }
+  // Dispatched count kernel (tensor/kernels): same broadcast rule as the
+  // clip kernels — per-neuron (extent == feat), per-channel (extent ==
+  // channels, bound index fi / hw), or a single layer bound.
+  const std::uint64_t events =
+      kern::count_over_bound(x.data(), b.data(), b.numel(), feat_, hw_, n);
   clamp_events_ += events;
   clamp_total_ += static_cast<std::uint64_t>(n);
 #ifndef NDEBUG

@@ -87,6 +87,14 @@ struct ServerOptions {
   /// fall back to the eager forward path; outputs are bit-identical either
   /// way, so this is purely a performance switch.
   bool plan = true;
+  /// Force the portable scalar kernel backend for the whole process
+  /// (kern::force_backend; see tensor/kernels/kernels.h). Kernel dispatch
+  /// is process-wide — per-lane or per-request backends would break the
+  /// bit-identity contract — so constructing a server with this set pins
+  /// every subsequent forward in the process, not just this server's, to
+  /// the scalar backend. The A/B lever benches and tests use
+  /// (serve_throughput --kernels scalar); leave false in production.
+  bool force_scalar_kernels = false;
 
   /// Throws std::invalid_argument on the first invalid field. The single
   /// error path for server shape problems.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "tensor/kernels/kernels.h"
 #include "util/thread_pool.h"
 
 namespace fitact {
@@ -16,31 +17,6 @@ constexpr std::int64_t kBlockK = 256;
 inline float load(const float* p, std::int64_t ld, std::int64_t r,
                   std::int64_t c, bool trans) noexcept {
   return trans ? p[c * ld + r] : p[r * ld + c];
-}
-
-// Inner kernel on a packed K-major A panel: C[mb, nb] += Ap[mb, kb] * B.
-// Ap is row-major mb x kb (already transposed if needed); B points at
-// (k0, n0) of the full row-major matrix.
-void kernel_panel(std::int64_t mb, std::int64_t nb, std::int64_t kb,
-                  float alpha, const float* ap, const float* b,
-                  std::int64_t ldb, float* c, std::int64_t ldc) noexcept {
-  for (std::int64_t i = 0; i < mb; ++i) {
-    const float* arow = ap + i * kb;
-    float* crow = c + i * ldc;
-    for (std::int64_t p = 0; p < kb; ++p) {
-      const float aval = alpha * arow[p];
-      if (aval == 0.0f) continue;
-      const float* brow = b + p * ldb;
-      std::int64_t j = 0;
-      for (; j + 4 <= nb; j += 4) {
-        crow[j + 0] += aval * brow[j + 0];
-        crow[j + 1] += aval * brow[j + 1];
-        crow[j + 2] += aval * brow[j + 2];
-        crow[j + 3] += aval * brow[j + 3];
-      }
-      for (; j < nb; ++j) crow[j] += aval * brow[j];
-    }
-  }
 }
 
 }  // namespace
@@ -131,8 +107,10 @@ void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
         }
         for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
           const std::int64_t nb = std::min<std::int64_t>(kBlockN, n - j0);
-          kernel_panel(mb, nb, kb, alpha, apack.data(), b + k0 * ldb + j0, ldb,
-                       c + i0 * ldc + j0, ldc);
+          // Runtime-dispatched panel microkernel (AVX2/FMA or scalar; see
+          // tensor/kernels/kernels.h for the cross-backend contract).
+          kern::gemm_panel(mb, nb, kb, alpha, apack.data(),
+                           b + k0 * ldb + j0, ldb, c + i0 * ldc + j0, ldc);
         }
       }
     }

@@ -1,0 +1,140 @@
+// Backend resolution and the dispatched entry points (kernels.h).
+//
+// One atomic table pointer serves the whole process. It is resolved lazily
+// on the first kernel call: cpuid picks the best backend the host executes,
+// then the FITACT_KERNELS environment variable ("scalar" | "avx2" | "auto")
+// may narrow it — a forced-scalar run on an AVX2 host is the A/B lever the
+// fuzz tests, plan tests and benches use; forcing avx2 on a host without it
+// falls back to scalar rather than faulting. force_backend() is the same
+// lever programmatically (serve::ServerOptions::force_scalar_kernels and
+// the benches' --kernels flag route through it).
+#include "tensor/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/kernels/kernel_table.h"
+#include "util/log.h"
+
+namespace fitact::kern {
+namespace {
+
+bool cpu_has_avx2_fma() noexcept {
+#if defined(FITACT_HAVE_AVX2_KERNELS) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelTable* table_for(Backend b) noexcept {
+#if defined(FITACT_HAVE_AVX2_KERNELS)
+  if (b == Backend::avx2) return &avx2_table();
+#else
+  (void)b;
+#endif
+  return &scalar_table();
+}
+
+Backend best_backend() noexcept {
+  return cpu_has_avx2_fma() ? Backend::avx2 : Backend::scalar;
+}
+
+/// Environment-configured startup backend. Unknown values warn and mean
+/// auto; requesting avx2 on an unsupported host warns and falls back.
+Backend startup_backend() noexcept {
+  Backend b = best_backend();
+  const char* env = std::getenv("FITACT_KERNELS");
+  if (env == nullptr || std::strcmp(env, "auto") == 0) return b;
+  if (std::strcmp(env, "scalar") == 0) return Backend::scalar;
+  if (std::strcmp(env, "avx2") == 0) {
+    if (b != Backend::avx2) {
+      ut::log_warn() << "FITACT_KERNELS=avx2 but this host/build has no AVX2 "
+                        "kernels; using scalar";
+    }
+    return b;
+  }
+  ut::log_warn() << "FITACT_KERNELS: unknown value '" << env
+                 << "' (expect scalar|avx2|auto); using auto";
+  return b;
+}
+
+/// Active table. Memory order: the tables are immutable statics, so relaxed
+/// loads are safe — a racing reader sees either the old or the new backend,
+/// both fully constructed. (Backend switches mid-forward are excluded by
+/// the force_backend contract, not by this pointer.)
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<Backend> g_backend{Backend::scalar};
+
+const KernelTable& active_table() noexcept {
+  const KernelTable* t = g_table.load(std::memory_order_relaxed);
+  if (t != nullptr) return *t;
+  // First use (possibly concurrent: both writers install identical values).
+  const Backend b = startup_backend();
+  g_backend.store(b, std::memory_order_relaxed);
+  t = table_for(b);
+  g_table.store(t, std::memory_order_relaxed);
+  return *t;
+}
+
+}  // namespace
+
+bool avx2_supported() noexcept { return cpu_has_avx2_fma(); }
+
+Backend active_backend() noexcept {
+  (void)active_table();  // resolve the env override on first call
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+const char* backend_name(Backend b) noexcept {
+  return b == Backend::avx2 ? "avx2" : "scalar";
+}
+
+Backend force_backend(Backend b) noexcept {
+  if (b == Backend::avx2 && !cpu_has_avx2_fma()) b = Backend::scalar;
+  g_backend.store(b, std::memory_order_relaxed);
+  g_table.store(table_for(b), std::memory_order_relaxed);
+  return b;
+}
+
+// ---- dispatched entry points ----------------------------------------------
+
+void gemm_panel(std::int64_t mb, std::int64_t nb, std::int64_t kb, float alpha,
+                const float* ap, const float* b, std::int64_t ldb, float* c,
+                std::int64_t ldc) noexcept {
+  active_table().gemm_panel(mb, nb, kb, alpha, ap, b, ldb, c, ldc);
+}
+
+void relu(const float* x, float* o, std::int64_t n) noexcept {
+  active_table().relu(x, o, n);
+}
+
+void add(const float* a, const float* b, float* o, std::int64_t n) noexcept {
+  active_table().add(a, b, o, n);
+}
+
+void bias_add_row(float* row, const float* bias, std::int64_t n) noexcept {
+  active_table().bias_add_row(row, bias, n);
+}
+
+void bias_add_const(float* row, float value, std::int64_t n) noexcept {
+  active_table().bias_add_const(row, value, n);
+}
+
+std::uint64_t clipped_relu(const float* x, const float* bound,
+                           std::int64_t bound_numel, std::int64_t feat,
+                           std::int64_t hw, bool saturate, float* o,
+                           std::int64_t n, bool count) noexcept {
+  return active_table().clipped_relu(x, bound, bound_numel, feat, hw, saturate,
+                                     o, n, count);
+}
+
+std::uint64_t count_over_bound(const float* x, const float* bound,
+                               std::int64_t bound_numel, std::int64_t feat,
+                               std::int64_t hw, std::int64_t n) noexcept {
+  return active_table().count_over_bound(x, bound, bound_numel, feat, hw, n);
+}
+
+}  // namespace fitact::kern

@@ -1,0 +1,42 @@
+// Internal to src/tensor/kernels/: the dispatch table one backend fills in,
+// plus the declarations of each backend's implementations. Nothing outside
+// this directory includes this header — callers go through kernels.h.
+#pragma once
+
+#include <cstdint>
+
+namespace fitact::kern {
+
+struct KernelTable {
+  void (*gemm_panel)(std::int64_t mb, std::int64_t nb, std::int64_t kb,
+                     float alpha, const float* ap, const float* b,
+                     std::int64_t ldb, float* c, std::int64_t ldc) noexcept;
+  void (*relu)(const float* x, float* o, std::int64_t n) noexcept;
+  void (*add)(const float* a, const float* b, float* o,
+              std::int64_t n) noexcept;
+  void (*bias_add_row)(float* row, const float* bias, std::int64_t n) noexcept;
+  void (*bias_add_const)(float* row, float value, std::int64_t n) noexcept;
+  std::uint64_t (*clipped_relu)(const float* x, const float* bound,
+                                std::int64_t bound_numel, std::int64_t feat,
+                                std::int64_t hw, bool saturate, float* o,
+                                std::int64_t n, bool count) noexcept;
+  std::uint64_t (*count_over_bound)(const float* x, const float* bound,
+                                    std::int64_t bound_numel,
+                                    std::int64_t feat, std::int64_t hw,
+                                    std::int64_t n) noexcept;
+};
+
+/// The portable reference backend (kernels_scalar.cpp). Always available;
+/// also the semantics every vector backend must reproduce (bit-exactly for
+/// the elementwise kernels, to forward-error bounds for gemm_panel).
+[[nodiscard]] const KernelTable& scalar_table() noexcept;
+
+// The AVX2/FMA backend (kernels_avx2.cpp). Declared unconditionally;
+// defined only when the build carries the AVX2 translation unit
+// (FITACT_HAVE_AVX2_KERNELS), and dereferenced by dispatch.cpp only after
+// a cpuid check says the host executes AVX2+FMA.
+#if defined(FITACT_HAVE_AVX2_KERNELS)
+[[nodiscard]] const KernelTable& avx2_table() noexcept;
+#endif
+
+}  // namespace fitact::kern

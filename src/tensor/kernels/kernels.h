@@ -1,0 +1,126 @@
+// Runtime-dispatched CPU microkernels for the serving hot path.
+//
+// Every compute inner loop that serving throughput depends on — the SGEMM
+// panel kernel, ReLU / bound-clamp / bias-add elementwise passes, and the
+// clamp-event counter behind the fault detector — funnels through the entry
+// points declared here. A process-wide dispatch table binds each entry point
+// to one backend:
+//
+//   scalar — portable C++ loops, the reference semantics (kernels_scalar.cpp)
+//   avx2   — AVX2/FMA vector kernels (kernels_avx2.cpp, only compiled when
+//            the toolchain can target AVX2; only *selected* when cpuid says
+//            the host executes it)
+//
+// Dispatch is deliberately per-process, not per-thread or per-call site:
+// campaign determinism across thread counts and the plan-vs-eager
+// bit-identity contract both require every forward in a process to run the
+// same arithmetic. The backend is resolved once, at first use, from the
+// FITACT_KERNELS environment variable ("scalar" | "avx2" | "auto", default
+// auto = best supported); tests and benches may override it at runtime with
+// force_backend() to A/B both paths on any host — callers own restoring it
+// (see BackendGuard).
+//
+// Semantics contract per backend:
+//   * Elementwise kernels (relu / clip / add / bias) are bit-identical
+//     across backends, including NaN/Inf handling and signed zeros — the
+//     vector forms mirror the scalar branch structure exactly.
+//   * gemm_panel accumulates in a backend-specific order (the AVX2 kernel
+//     uses FMA), so backends agree only to the per-element forward-error
+//     bound gemm_fuzz_test enforces — never rely on cross-backend
+//     bit-equality of GEMM results.
+//   * No kernel skips work based on operand values: a NaN or Inf anywhere
+//     in the inputs reaches the output exactly as IEEE arithmetic dictates.
+//     (Hardware faults produce exactly these values; swallowing them blinds
+//     the fault detector. gemm_fuzz_test pins this.)
+#pragma once
+
+#include <cstdint>
+
+namespace fitact::kern {
+
+enum class Backend : int {
+  scalar = 0,
+  avx2 = 1,
+};
+
+/// True when this binary carries the AVX2 kernels *and* the executing host
+/// supports AVX2+FMA.
+[[nodiscard]] bool avx2_supported() noexcept;
+
+/// The backend every kernel entry point currently dispatches to. Resolves
+/// the FITACT_KERNELS environment override on first call.
+[[nodiscard]] Backend active_backend() noexcept;
+
+/// Short stable name ("scalar" / "avx2") for logs, benches and CSVs.
+[[nodiscard]] const char* backend_name(Backend b) noexcept;
+
+/// Process-wide override, effective immediately for all subsequent kernel
+/// calls. Requesting avx2 on a host without it falls back to scalar (the
+/// returned value is what actually got installed). Not synchronised with
+/// in-flight forwards: switch backends only between forwards (tests and
+/// startup configuration), never while another thread is inside a kernel.
+Backend force_backend(Backend b) noexcept;
+
+/// RAII for tests/benches that A/B backends: forces `b` now, restores the
+/// previously active backend on destruction.
+class BackendGuard {
+ public:
+  explicit BackendGuard(Backend b) noexcept
+      : previous_(active_backend()) {
+    (void)force_backend(b);
+  }
+  ~BackendGuard() { (void)force_backend(previous_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  Backend previous_;
+};
+
+// ---- dispatched kernel entry points ---------------------------------------
+
+/// SGEMM inner panel: C[mb, nb] += alpha * Ap[mb, kb] * B[kb, nb], where Ap
+/// is a packed row-major panel (contiguous kb-stride rows) and B/C point
+/// into full row-major matrices with leading dimensions ldb/ldc. The caller
+/// (tensor/gemm.cpp) owns blocking, packing, beta handling and threading.
+void gemm_panel(std::int64_t mb, std::int64_t nb, std::int64_t kb, float alpha,
+                const float* ap, const float* b, std::int64_t ldb, float* c,
+                std::int64_t ldc) noexcept;
+
+/// o[i] = x[i] > 0 ? x[i] : 0 (NaN -> 0, matching the scalar branch).
+void relu(const float* x, float* o, std::int64_t n) noexcept;
+
+/// o[i] = a[i] + b[i].
+void add(const float* a, const float* b, float* o, std::int64_t n) noexcept;
+
+/// row[j] += bias[j] for j in [0, n) — the per-row bias of a linear layer.
+void bias_add_row(float* row, const float* bias, std::int64_t n) noexcept;
+
+/// row[i] += value for i in [0, n) — the per-channel-plane bias of a conv.
+void bias_add_const(float* row, float value, std::int64_t n) noexcept;
+
+/// Bounded-ReLU forward with fused clamp-event counting, over n contiguous
+/// elements laid out as complete per-sample feature rows (n % feat == 0).
+/// Per element, with b = the element's broadcast bound:
+///   x <= 0  -> 0
+///   x <= b  -> x
+///   else    -> saturate ? b : 0        (NaN lands here: both compares fail)
+/// The bound index of flat feature fi is: fi (bound_numel == feat), fi / hw
+/// (bound_numel == channels), 0 (bound_numel == 1) — FeatureBroadcast's map.
+/// Returns the number of elements with x > b (the clamp-event statistic)
+/// when `count` is set, 0 otherwise — the non-counting path skips the
+/// tally entirely. Counting never changes the written output.
+std::uint64_t clipped_relu(const float* x, const float* bound,
+                           std::int64_t bound_numel, std::int64_t feat,
+                           std::int64_t hw, bool saturate, float* o,
+                           std::int64_t n, bool count) noexcept;
+
+/// Clamp-event count alone (no output written): number of elements with
+/// x[i] > bound[broadcast(i)], same broadcast rule as clipped_relu. The
+/// standalone pass core::BoundedActivation::count_clamps runs on the eager
+/// path before handing x to the activation op.
+std::uint64_t count_over_bound(const float* x, const float* bound,
+                               std::int64_t bound_numel, std::int64_t feat,
+                               std::int64_t hw, std::int64_t n) noexcept;
+
+}  // namespace fitact::kern

@@ -1,0 +1,288 @@
+// AVX2/FMA backend. This translation unit is the only place in the tree
+// allowed to include <immintrin.h> (scripts/lint.sh enforces the boundary):
+// it is compiled with -mavx2 -mfma while the rest of the library keeps the
+// portable baseline ISA, and dispatch.cpp only installs this table after a
+// runtime cpuid check — so the binary stays runnable on any x86-64 host.
+//
+// Semantics: the elementwise kernels reproduce the scalar backend
+// bit-exactly (identical branch structure via ordered-quiet compares and
+// blends, so NaN/Inf/-0.0 behave the same); gemm_panel accumulates with FMA
+// in 16-column register tiles, which changes rounding relative to scalar —
+// cross-backend GEMM agreement is to forward-error bounds only
+// (gemm_fuzz_test's per-element tolerance).
+#include "tensor/kernels/kernel_table.h"
+
+#if defined(FITACT_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+namespace fitact::kern {
+namespace {
+
+// ---- GEMM panel ------------------------------------------------------------
+
+/// Full 4-row x 16-column register tile: C tile is held in 8 ymm
+/// accumulators across the whole kb loop, so C traffic is one load + one
+/// store per element instead of one per k step.
+inline void tile4x16(std::int64_t kb, float alpha, const float* ap,
+                     std::int64_t ap_stride, const float* b, std::int64_t ldb,
+                     float* c, std::int64_t ldc) noexcept {
+  __m256 acc00 = _mm256_loadu_ps(c + 0 * ldc);
+  __m256 acc01 = _mm256_loadu_ps(c + 0 * ldc + 8);
+  __m256 acc10 = _mm256_loadu_ps(c + 1 * ldc);
+  __m256 acc11 = _mm256_loadu_ps(c + 1 * ldc + 8);
+  __m256 acc20 = _mm256_loadu_ps(c + 2 * ldc);
+  __m256 acc21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+  __m256 acc30 = _mm256_loadu_ps(c + 3 * ldc);
+  __m256 acc31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b + p * ldb);
+    const __m256 b1 = _mm256_loadu_ps(b + p * ldb + 8);
+    const __m256 a0 = _mm256_set1_ps(alpha * ap[0 * ap_stride + p]);
+    const __m256 a1 = _mm256_set1_ps(alpha * ap[1 * ap_stride + p]);
+    const __m256 a2 = _mm256_set1_ps(alpha * ap[2 * ap_stride + p]);
+    const __m256 a3 = _mm256_set1_ps(alpha * ap[3 * ap_stride + p]);
+    acc00 = _mm256_fmadd_ps(a0, b0, acc00);
+    acc01 = _mm256_fmadd_ps(a0, b1, acc01);
+    acc10 = _mm256_fmadd_ps(a1, b0, acc10);
+    acc11 = _mm256_fmadd_ps(a1, b1, acc11);
+    acc20 = _mm256_fmadd_ps(a2, b0, acc20);
+    acc21 = _mm256_fmadd_ps(a2, b1, acc21);
+    acc30 = _mm256_fmadd_ps(a3, b0, acc30);
+    acc31 = _mm256_fmadd_ps(a3, b1, acc31);
+  }
+  _mm256_storeu_ps(c + 0 * ldc, acc00);
+  _mm256_storeu_ps(c + 0 * ldc + 8, acc01);
+  _mm256_storeu_ps(c + 1 * ldc, acc10);
+  _mm256_storeu_ps(c + 1 * ldc + 8, acc11);
+  _mm256_storeu_ps(c + 2 * ldc, acc20);
+  _mm256_storeu_ps(c + 2 * ldc + 8, acc21);
+  _mm256_storeu_ps(c + 3 * ldc, acc30);
+  _mm256_storeu_ps(c + 3 * ldc + 8, acc31);
+}
+
+/// Single-row edge tile: 8-wide vector loop with a scalar tail. Handles the
+/// bottom rows (mb % 4) and, with nb < 16, the right edge columns.
+inline void tile1xN(std::int64_t nb, std::int64_t kb, float alpha,
+                    const float* arow, const float* b, std::int64_t ldb,
+                    float* c) noexcept {
+  for (std::int64_t p = 0; p < kb; ++p) {
+    const float aval = alpha * arow[p];
+    const __m256 av = _mm256_set1_ps(aval);
+    const float* brow = b + p * ldb;
+    std::int64_t j = 0;
+    for (; j + 8 <= nb; j += 8) {
+      _mm256_storeu_ps(
+          c + j, _mm256_fmadd_ps(av, _mm256_loadu_ps(brow + j),
+                                 _mm256_loadu_ps(c + j)));
+    }
+    for (; j < nb; ++j) c[j] += aval * brow[j];
+  }
+}
+
+void avx2_gemm_panel(std::int64_t mb, std::int64_t nb, std::int64_t kb,
+                     float alpha, const float* ap, const float* b,
+                     std::int64_t ldb, float* c, std::int64_t ldc) noexcept {
+  const std::int64_t mb4 = mb & ~std::int64_t{3};
+  const std::int64_t nb16 = nb & ~std::int64_t{15};
+  for (std::int64_t i = 0; i < mb4; i += 4) {
+    for (std::int64_t j = 0; j < nb16; j += 16) {
+      tile4x16(kb, alpha, ap + i * kb, kb, b + j, ldb, c + i * ldc + j, ldc);
+    }
+    if (nb16 < nb) {
+      for (std::int64_t r = 0; r < 4; ++r) {
+        tile1xN(nb - nb16, kb, alpha, ap + (i + r) * kb, b + nb16, ldb,
+                c + (i + r) * ldc + nb16);
+      }
+    }
+  }
+  for (std::int64_t i = mb4; i < mb; ++i) {
+    tile1xN(nb, kb, alpha, ap + i * kb, b, ldb, c + i * ldc);
+  }
+}
+
+// ---- elementwise -----------------------------------------------------------
+
+void avx2_relu(const float* x, float* o, std::int64_t n) noexcept {
+  const __m256 zero = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  // maxps(x, 0) returns the second operand when x is NaN — the same 0 the
+  // scalar branch (x > 0 ? x : 0) produces.
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(o + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) o[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void avx2_add(const float* a, const float* b, float* o,
+              std::int64_t n) noexcept {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        o + i, _mm256_add_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i)));
+  }
+  for (; i < n; ++i) o[i] = a[i] + b[i];
+}
+
+void avx2_bias_add_row(float* row, const float* bias, std::int64_t n) noexcept {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(row + i, _mm256_add_ps(_mm256_loadu_ps(row + i),
+                                            _mm256_loadu_ps(bias + i)));
+  }
+  for (; i < n; ++i) row[i] += bias[i];
+}
+
+void avx2_bias_add_const(float* row, float value, std::int64_t n) noexcept {
+  const __m256 v = _mm256_set1_ps(value);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(row + i, _mm256_add_ps(_mm256_loadu_ps(row + i), v));
+  }
+  for (; i < n; ++i) row[i] += value;
+}
+
+// ---- bounded activations ---------------------------------------------------
+
+/// Vector core of one clip step: mirrors the scalar branch cascade
+///   x <= 0 -> 0;  x <= b -> x;  else -> over (0 or b)
+/// with ordered-quiet compares, so NaN (both compares false) maps to `over`
+/// exactly as in the scalar backend.
+inline __m256 clip8(__m256 x, __m256 b, __m256 over, __m256 zero) noexcept {
+  const __m256 le0 = _mm256_cmp_ps(x, zero, _CMP_LE_OQ);
+  const __m256 leb = _mm256_cmp_ps(x, b, _CMP_LE_OQ);
+  __m256 r = _mm256_blendv_ps(over, x, leb);  // x <= b ? x : over
+  r = _mm256_blendv_ps(r, zero, le0);         // x <= 0 ? 0 : r
+  return r;
+}
+
+/// events += popcount(x > b) for one vector — _CMP_GT_OQ is false for NaN,
+/// matching the scalar `x > b` tally.
+inline std::uint64_t count8(__m256 x, __m256 b) noexcept {
+  return static_cast<std::uint64_t>(__builtin_popcount(static_cast<unsigned>(
+      _mm256_movemask_ps(_mm256_cmp_ps(x, b, _CMP_GT_OQ)))));
+}
+
+inline std::uint64_t clip_span_const(const float* x, float bound,
+                                     bool saturate, float* o, std::int64_t n,
+                                     bool count) noexcept {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 bv = _mm256_set1_ps(bound);
+  const __m256 over = saturate ? bv : zero;
+  std::uint64_t events = 0;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + i);
+    if (count) events += count8(xv, bv);
+    _mm256_storeu_ps(o + i, clip8(xv, bv, over, zero));
+  }
+  const float over_s = saturate ? bound : 0.0f;
+  for (; i < n; ++i) {
+    const float xi = x[i];
+    if (count) events += xi > bound;
+    o[i] = xi <= 0.0f ? 0.0f : (xi <= bound ? xi : over_s);
+  }
+  return events;
+}
+
+inline std::uint64_t clip_span_rowwise(const float* x, const float* bound,
+                                       bool saturate, float* o,
+                                       std::int64_t n, bool count) noexcept {
+  const __m256 zero = _mm256_setzero_ps();
+  std::uint64_t events = 0;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_loadu_ps(x + i);
+    const __m256 bv = _mm256_loadu_ps(bound + i);
+    if (count) events += count8(xv, bv);
+    _mm256_storeu_ps(o + i, clip8(xv, bv, saturate ? bv : zero, zero));
+  }
+  for (; i < n; ++i) {
+    const float xi = x[i];
+    const float bi = bound[i];
+    if (count) events += xi > bi;
+    o[i] = xi <= 0.0f ? 0.0f : (xi <= bi ? xi : (saturate ? bi : 0.0f));
+  }
+  return events;
+}
+
+std::uint64_t avx2_clipped_relu(const float* x, const float* bound,
+                                std::int64_t bound_numel, std::int64_t feat,
+                                std::int64_t hw, bool saturate, float* o,
+                                std::int64_t n, bool count) noexcept {
+  if (bound_numel == 1) {
+    return clip_span_const(x, bound[0], saturate, o, n, count);
+  }
+  std::uint64_t events = 0;
+  for (std::int64_t base = 0; base < n; base += feat) {
+    const std::int64_t row = base + feat <= n ? feat : n - base;
+    if (bound_numel == feat) {
+      events += clip_span_rowwise(x + base, bound, saturate, o + base, row,
+                                  count);
+    } else {
+      for (std::int64_t f = 0; f < row; f += hw) {
+        const std::int64_t span = f + hw <= row ? hw : row - f;
+        events += clip_span_const(x + base + f, bound[f / hw], saturate,
+                                  o + base + f, span, count);
+      }
+    }
+  }
+  return events;
+}
+
+inline std::uint64_t count_span_const(const float* x, float bound,
+                                      std::int64_t n) noexcept {
+  const __m256 bv = _mm256_set1_ps(bound);
+  std::uint64_t events = 0;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) events += count8(_mm256_loadu_ps(x + i), bv);
+  for (; i < n; ++i) events += x[i] > bound;
+  return events;
+}
+
+inline std::uint64_t count_span_rowwise(const float* x, const float* bound,
+                                        std::int64_t n) noexcept {
+  std::uint64_t events = 0;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    events += count8(_mm256_loadu_ps(x + i), _mm256_loadu_ps(bound + i));
+  }
+  for (; i < n; ++i) events += x[i] > bound[i];
+  return events;
+}
+
+std::uint64_t avx2_count_over_bound(const float* x, const float* bound,
+                                    std::int64_t bound_numel,
+                                    std::int64_t feat, std::int64_t hw,
+                                    std::int64_t n) noexcept {
+  if (bound_numel == 1) return count_span_const(x, bound[0], n);
+  std::uint64_t events = 0;
+  for (std::int64_t base = 0; base < n; base += feat) {
+    const std::int64_t row = base + feat <= n ? feat : n - base;
+    if (bound_numel == feat) {
+      events += count_span_rowwise(x + base, bound, row);
+    } else {
+      for (std::int64_t f = 0; f < row; f += hw) {
+        const std::int64_t span = f + hw <= row ? hw : row - f;
+        events += count_span_const(x + base + f, bound[f / hw], span);
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace
+
+const KernelTable& avx2_table() noexcept {
+  static constexpr KernelTable kTable = {
+      avx2_gemm_panel,    avx2_relu,
+      avx2_add,           avx2_bias_add_row,
+      avx2_bias_add_const, avx2_clipped_relu,
+      avx2_count_over_bound,
+  };
+  return kTable;
+}
+
+}  // namespace fitact::kern
+
+#endif  // FITACT_HAVE_AVX2_KERNELS

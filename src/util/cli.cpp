@@ -41,7 +41,13 @@ std::int64_t Cli::get_int(const std::string& name,
                           std::int64_t fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(it->second.c_str(), &end, 10);
+  // A value strtoll cannot fully consume (typo, stray suffix) keeps the
+  // fallback instead of silently becoming 0 / a truncated prefix — 0 is a
+  // meaningful setting for several flags (--window-us, --inject-every).
+  if (end == it->second.c_str() || *end != '\0') return fallback;
+  return parsed;
 }
 
 std::size_t Cli::get_count(const std::string& name,
@@ -62,7 +68,11 @@ std::size_t Cli::get_count(const std::string& name,
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end()) return fallback;
-  return std::strtod(it->second.c_str(), nullptr);
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  // Same fail-safe-to-fallback contract as get_int/get_count.
+  if (end == it->second.c_str() || *end != '\0') return fallback;
+  return parsed;
 }
 
 bool Cli::get_flag(const std::string& name) const {

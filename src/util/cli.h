@@ -16,6 +16,9 @@ class Cli {
   [[nodiscard]] bool has(const std::string& name) const noexcept;
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& fallback) const;
+  /// Numeric getters parse fail-safe: a value that is not fully numeric
+  /// ("--classes foo", "--width 1.5x") returns `fallback` as if the option
+  /// were absent, never a silent 0 or truncated prefix.
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
   /// get_int for count-valued options (--threads, --trials) that are later

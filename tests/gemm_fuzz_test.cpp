@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "tensor/gemm.h"
+#include "tensor/kernels/kernels.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -157,6 +158,99 @@ TEST(GemmFuzz, PinnedEdgeCases) {
   for (std::size_t i = 0; i < cases.size(); ++i) {
     run_case(cases[i], rng, "edge case " + std::to_string(i) + " [" +
                                 describe(cases[i]) + "]");
+  }
+}
+
+// The same edge-case matrix under an explicitly forced scalar backend, then
+// explicitly forced best-available: whatever FITACT_KERNELS or the host
+// selected for the other tests, both backends get exercised against the
+// reference on every CI runner. element_bound covers the AVX2 kernel's FMA
+// accumulation-order difference; a dispatch-layer bug (wrong panel math,
+// wrong edge handling) fails by orders of magnitude.
+TEST(GemmFuzz, EdgeCasesAgreeUnderBothKernelBackends) {
+  ASSERT_TRUE(g_threads_pinned);
+  const std::vector<FuzzCase> cases = {
+      {1, 1, 1, false, false, 1.0f, 0.0f, 0, 0, 0},
+      {5, 17, 3, false, false, 1.0f, 0.5f, 2, 1, 3},
+      // Tile boundaries of the AVX2 panel kernel (4-row x 16-col tiles).
+      {3, 15, 9, false, false, 1.0f, 0.0f, 0, 0, 0},
+      {4, 16, 9, false, false, 1.0f, 0.0f, 0, 0, 0},
+      {5, 17, 9, false, false, -1.5f, 1.0f, 0, 0, 0},
+      {8, 33, 40, false, false, 1.0f, 0.0f, 1, 2, 1},
+      // Block boundaries of the outer loops.
+      {64, 256, 256, false, false, 1.0f, 0.0f, 0, 0, 0},
+      {65, 257, 257, false, false, 0.5f, -1.0f, 0, 0, 0},
+  };
+  for (const kern::Backend backend :
+       {kern::Backend::scalar,
+        kern::avx2_supported() ? kern::Backend::avx2 : kern::Backend::scalar}) {
+    const kern::BackendGuard guard(backend);
+    ASSERT_EQ(kern::active_backend(), backend);
+    ut::Rng rng(20240902);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      run_case(cases[i], rng,
+               std::string("backend ") + kern::backend_name(backend) +
+                   " case " + std::to_string(i) + " [" + describe(cases[i]) +
+                   "]");
+    }
+  }
+}
+
+// Regression: the panel kernel used to skip accumulation for zero A
+// elements ("if (aval == 0.0f) continue"), which is wrong in IEEE
+// arithmetic — 0 * NaN and 0 * Inf are NaN, and hardware faults produce
+// exactly these values in B. A zero in the *packed A panel* must not stop
+// a NaN/Inf in B from poisoning the output row. Checked under both
+// backends: non-finite results cannot be compared to the reference by
+// error bound, so the test compares IEEE classification element-wise.
+TEST(GemmFuzz, NonFiniteOperandsPropagateThroughPanelKernel) {
+  ASSERT_TRUE(g_threads_pinned);
+  constexpr std::int64_t m = 9, n = 21, k = 17;
+  ut::Rng rng(20240903);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  for (auto& x : a) x = rng.normal();
+  for (auto& x : b) x = rng.normal();
+  // Zero out two full A columns; the old skip made these positions inert.
+  for (std::int64_t i = 0; i < m; ++i) {
+    a[static_cast<std::size_t>(i * k + 3)] = 0.0f;
+    a[static_cast<std::size_t>(i * k + 11)] = 0.0f;
+  }
+  // Non-finite B values reachable *only* through the zeroed A columns.
+  b[static_cast<std::size_t>(3 * n + 5)] = std::nanf("");
+  b[static_cast<std::size_t>(11 * n + 13)] = HUGE_VALF;  // +Inf
+  for (const kern::Backend backend :
+       {kern::Backend::scalar,
+        kern::avx2_supported() ? kern::Backend::avx2 : kern::Backend::scalar}) {
+    const kern::BackendGuard guard(backend);
+    std::vector<float> c_fast(static_cast<std::size_t>(m * n), 0.5f);
+    std::vector<float> c_ref = c_fast;
+    sgemm(false, false, m, n, k, 2.0f, a.data(), k, b.data(), n, 0.0f,
+          c_fast.data(), n);
+    sgemm_reference(false, false, m, n, k, 2.0f, a.data(), k, b.data(), n,
+                    0.0f, c_ref.data(), n);
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const float got = c_fast[static_cast<std::size_t>(i * n + j)];
+        const float want = c_ref[static_cast<std::size_t>(i * n + j)];
+        EXPECT_EQ(std::isnan(got), std::isnan(want))
+            << "backend " << kern::backend_name(backend) << " element (" << i
+            << ", " << j << "): got " << got << " want " << want;
+        if (std::isfinite(want)) {
+          EXPECT_TRUE(std::isfinite(got))
+              << "backend " << kern::backend_name(backend) << " element ("
+              << i << ", " << j << "): got " << got << " want " << want;
+        }
+      }
+    }
+    // Columns 5 (through the NaN) and 13 (through the Inf) must be
+    // poisoned: 0 * NaN = NaN and 0 * Inf = NaN reach every output row.
+    for (std::int64_t i = 0; i < m; ++i) {
+      EXPECT_TRUE(std::isnan(c_fast[static_cast<std::size_t>(i * n + 5)]))
+          << "backend " << kern::backend_name(backend) << " row " << i;
+      EXPECT_TRUE(std::isnan(c_fast[static_cast<std::size_t>(i * n + 13)]))
+          << "backend " << kern::backend_name(backend) << " row " << i;
+    }
   }
 }
 

@@ -23,6 +23,7 @@
 #include "nn/layers.h"
 #include "nn/plan.h"
 #include "serve/server.h"
+#include "tensor/kernels/kernels.h"
 #include "util/rng.h"
 
 // Allocation counting is meaningless under sanitizers (their runtimes own
@@ -115,18 +116,30 @@ TEST_P(PlanZoo, PlanMatchesEagerBitForBitAcrossBatchSizes) {
   EXPECT_GT(plan->op_count(), 0u);
   ut::Rng rng(99);
   const NoGradGuard no_grad;
-  for (const std::int64_t b : {1, 3, 8}) {
-    const Tensor x = Tensor::randn(Shape{b, 3, 32, 32}, rng);
-    const Tensor want = model->forward(Variable(x, false)).value();
-    Tensor& staging = plan->input_view(b);
-    std::memcpy(staging.data(), x.data(),
-                sizeof(float) * static_cast<std::size_t>(x.numel()));
-    for (int pass = 0; pass < 2; ++pass) {
-      const Tensor& got = plan->execute(b);
-      expect_bit_identical(got, want,
-                           std::string(GetParam()) + " batch " +
-                               std::to_string(b) + " pass " +
-                               std::to_string(pass));
+  // The contract must hold on every kernel backend. Both engines call the
+  // same dispatched kernels, so it holds by construction — this matrix
+  // pins that construction under forced scalar and under the
+  // best-available backend (identical when the host lacks AVX2). The
+  // eager reference is recomputed inside the guard: plan-vs-eager
+  // identity is within a backend, GEMM results differ across backends.
+  for (const kern::Backend backend :
+       {kern::Backend::scalar,
+        kern::avx2_supported() ? kern::Backend::avx2 : kern::Backend::scalar}) {
+    const kern::BackendGuard guard(backend);
+    for (const std::int64_t b : {1, 3, 8}) {
+      const Tensor x = Tensor::randn(Shape{b, 3, 32, 32}, rng);
+      const Tensor want = model->forward(Variable(x, false)).value();
+      Tensor& staging = plan->input_view(b);
+      std::memcpy(staging.data(), x.data(),
+                  sizeof(float) * static_cast<std::size_t>(x.numel()));
+      for (int pass = 0; pass < 2; ++pass) {
+        const Tensor& got = plan->execute(b);
+        expect_bit_identical(got, want,
+                             std::string(GetParam()) + " backend " +
+                                 kern::backend_name(backend) + " batch " +
+                                 std::to_string(b) + " pass " +
+                                 std::to_string(pass));
+      }
     }
   }
 }
@@ -319,6 +332,27 @@ TEST(ServerOptions, ValidateRejectsBadConfigurations) {
   o = good;
   o.max_recoveries_per_batch = -1;
   EXPECT_THROW(o.validate(), std::invalid_argument);
+}
+
+// The force_scalar_kernels knob must take effect during construction —
+// before any lane forward — and is process-wide by design (the guard
+// restores the ambient backend for the rest of the suite).
+TEST(ServerOptions, ForceScalarKernelsPinsTheProcessBackend) {
+  const kern::BackendGuard restore(kern::active_backend());
+  const auto model = zoo_model("tinycnn", core::Scheme::relu, 41);
+  serve::ServerOptions o;
+  o.lanes = 1;
+  o.detection = false;
+  o.force_scalar_kernels = true;
+  const serve::InferenceServer server(
+      [&](std::size_t) {
+        serve::Lane lane;
+        lane.model = model;
+        lane.image = std::make_shared<quant::ParamImage>(*model);
+        return lane;
+      },
+      o);
+  EXPECT_EQ(kern::active_backend(), kern::Backend::scalar);
 }
 
 }  // namespace

@@ -268,6 +268,25 @@ TEST(Cli, GetCountFallsBackOnInvalidValues) {
   EXPECT_EQ(cli.get_count("missing", -3), 0u);
 }
 
+TEST(Cli, GetIntAndGetDoubleFallBackOnNonNumericValues) {
+  const char* argv[] = {"prog",        "--classes", "foo",  "--requests",
+                        "12x",         "--width",   "1.5x", "--rate",
+                        "fast",        "--batch",   "8",    "--scale",
+                        "0.25"};
+  Cli cli(13, const_cast<char**>(argv));
+  // strtoll/strtod with an unchecked end pointer turned "--classes foo"
+  // into 0 and "--requests 12x" into 12; both must keep the fallback (0 is
+  // a meaningful setting for several options, and a truncated prefix is a
+  // typo, not intent).
+  EXPECT_EQ(cli.get_int("classes", 10), 10);
+  EXPECT_EQ(cli.get_int("requests", 256), 256);
+  EXPECT_DOUBLE_EQ(cli.get_double("width", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.5), 0.5);
+  // Fully numeric values still parse.
+  EXPECT_EQ(cli.get_int("batch", 1), 8);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.0), 0.25);
+}
+
 TEST(Table, FormatsAlignedColumns) {
   TextTable t({"name", "value"});
   t.row({"alpha", "1.5"});
