@@ -152,10 +152,11 @@ void BM_ModelForwardEager(benchmark::State& state) {
 }
 BENCHMARK(BM_ModelForwardEager)->Arg(1)->Arg(8);
 
-void planned_forward_bench(benchmark::State& state) {
+void planned_forward_bench(benchmark::State& state, bool fuse) {
   const auto batch = state.range(0);
   const auto model = protected_tinycnn();
-  const auto plan = nn::InferencePlan::compile(model, Shape{3, 32, 32}, 8);
+  const auto plan =
+      nn::InferencePlan::compile(model, Shape{3, 32, 32}, 8, fuse);
   ut::Rng rng(9);
   const Tensor x = Tensor::randn(Shape{batch, 3, 32, 32}, rng);
   std::memcpy(plan->input_view(batch).data(), x.data(),
@@ -167,16 +168,23 @@ void planned_forward_bench(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 
+// Planned / Fused is the fusion A/B (same plan machinery, fusion pass off
+// vs on); Planned / PlannedScalar stays the kernel-dispatch A/B.
 void BM_ModelForwardPlanned(benchmark::State& state) {
-  planned_forward_bench(state);
+  planned_forward_bench(state, /*fuse=*/false);
 }
 BENCHMARK(BM_ModelForwardPlanned)->Arg(1)->Arg(8);
 
 void BM_ModelForwardPlannedScalar(benchmark::State& state) {
   const kern::BackendGuard guard(kern::Backend::scalar);
-  planned_forward_bench(state);
+  planned_forward_bench(state, /*fuse=*/false);
 }
 BENCHMARK(BM_ModelForwardPlannedScalar)->Arg(1)->Arg(8);
+
+void BM_ModelForwardFused(benchmark::State& state) {
+  planned_forward_bench(state, /*fuse=*/true);
+}
+BENCHMARK(BM_ModelForwardFused)->Arg(1)->Arg(8);
 
 void BM_FixedPointEncode(benchmark::State& state) {
   ut::Rng rng(4);

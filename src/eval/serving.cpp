@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "autograd/variable.h"
@@ -10,10 +11,42 @@
 
 namespace fitact::ev {
 
+void ServeOptions::validate() const {
+  // A negative clamp_rate_threshold is this layer's "calibrate from clean
+  // traffic" sentinel — make_server resolves it to a concrete non-negative
+  // value before the server is constructed — so it is exempt from
+  // ServerOptions' non-negativity check at this stage.
+  serve::ServerOptions shape = server;
+  if (shape.detection && shape.clamp_rate_threshold < 0.0) {
+    shape.clamp_rate_threshold = 0.0;
+  }
+  shape.validate();
+  if (calibration_samples <= 0) {
+    throw std::invalid_argument(
+        "ServeOptions: calibration_samples must be positive, got " +
+        std::to_string(calibration_samples));
+  }
+  if (calibration_margin < 0.0) {
+    throw std::invalid_argument(
+        "ServeOptions: calibration_margin must be non-negative, got " +
+        std::to_string(calibration_margin));
+  }
+  if (calibration_floor < 0.0) {
+    throw std::invalid_argument(
+        "ServeOptions: calibration_floor must be non-negative, got " +
+        std::to_string(calibration_floor));
+  }
+}
+
 double peak_clean_clamp_rate(const PreparedModel& pm, std::int64_t samples) {
   if (!pm.model || !pm.test) {
     throw std::invalid_argument(
         "peak_clean_clamp_rate: prepared model has no model or test split");
+  }
+  if (samples <= 0) {
+    throw std::invalid_argument(
+        "peak_clean_clamp_rate: samples must be positive, got " +
+        std::to_string(samples));
   }
   const auto sites = core::collect_activations(*pm.model);
   std::vector<bool> was_counting;
@@ -25,9 +58,9 @@ double peak_clean_clamp_rate(const PreparedModel& pm, std::int64_t samples) {
 
   const NoGradGuard no_grad;
   pm.model->set_training(false);
-  const std::int64_t total =
-      std::min<std::int64_t>(std::max<std::int64_t>(samples, 1),
-                             pm.test->size());
+  // Rejecting samples <= 0 above means this is a pure clamp to the split
+  // size, never a silent substitution of a driver default.
+  const std::int64_t total = std::min<std::int64_t>(samples, pm.test->size());
   double peak = 0.0;
   for (std::int64_t i = 0; i < total; ++i) {
     core::reset_clamp_counters(sites);
@@ -48,6 +81,7 @@ std::unique_ptr<serve::InferenceServer> make_server(
   if (!pm.model) {
     throw std::invalid_argument("make_server: prepared model has no model");
   }
+  options.validate();
   // Deployment stores parameters in fixed point: round-trip the source once
   // so pm.model itself holds the Q1.15.16-representable values the lanes
   // will serve. Lane images snapshot these exact values, so a recovery
@@ -68,14 +102,20 @@ std::unique_ptr<serve::InferenceServer> make_server(
                     return s->scheme() != core::Scheme::relu && s->has_bounds();
                   });
   if (config.detection && !any_bounds) {
-    ut::log_warn() << "make_server: no bounded activation sites; the clamp "
-                      "rate is identically zero and fault detection will "
-                      "never fire";
+    // A detector over a clamp rate that is identically zero would calibrate
+    // to the floor and then never fire — "on" but blind. Disabling it makes
+    // the server's true capability visible in its options() instead of
+    // silently serving unprotected traffic behind an armed-looking flag.
+    ut::log_warn() << "make_server: no activation site has bounds installed "
+                      "(any_bounds == false); the clamp rate is identically "
+                      "zero, so clamp-rate fault detection is disabled for "
+                      "this server";
+    config.detection = false;
+    if (config.clamp_rate_threshold < 0.0) config.clamp_rate_threshold = 0.0;
   }
   if (config.detection && config.clamp_rate_threshold < 0.0) {
     const double peak =
-        any_bounds ? peak_clean_clamp_rate(pm, options.calibration_samples)
-                   : 0.0;
+        peak_clean_clamp_rate(pm, options.calibration_samples);
     config.clamp_rate_threshold =
         std::max(peak * options.calibration_margin, options.calibration_floor);
     ut::log_info() << "make_server: calibrated clamp-rate threshold "
@@ -109,10 +149,11 @@ std::unique_ptr<serve::InferenceServer> make_server(
       lane.model->set_training(false);
       try {
         lane.plan = nn::InferencePlan::compile(lane.model, sample_shape,
-                                               config.max_batch);
+                                               config.max_batch, config.fuse);
         if (index == 0) {
           ut::log_info() << "make_server: compiled lane plan ("
-                         << lane.plan->op_count() << " ops, arena "
+                         << lane.plan->op_count() << " ops, "
+                         << lane.plan->fused_op_count() << " fused, arena "
                          << lane.plan->arena_bytes() / 1024 << " KiB)";
         }
       } catch (const nn::PlanError& e) {

@@ -34,12 +34,22 @@ struct ServeOptions {
   /// on the calibration set for any batch assembly.
   double calibration_margin = 3.0;
   double calibration_floor = 1e-3;
+
+  /// Validates the embedded server shape (serve::ServerOptions::validate)
+  /// plus the calibration knobs: calibration_samples must be positive,
+  /// margin and floor non-negative. make_server calls this first, so every
+  /// invalid combination surfaces through the same std::invalid_argument
+  /// path instead of being silently patched by driver defaults.
+  void validate() const;
 };
 
 /// Peak per-sample, per-site clamp rate of pm.model over the first
 /// `samples` test samples (clean traffic) — the detection statistic
-/// serve::InferenceServer thresholds. Enables clamp counting for the
-/// measurement and restores the sites' previous counting state afterwards.
+/// serve::InferenceServer thresholds. `samples` must be positive (throws
+/// std::invalid_argument otherwise; ServeOptions::validate() rejects the
+/// value before it gets here) and is clamped to the test split size.
+/// Enables clamp counting for the measurement and restores the sites'
+/// previous counting state afterwards.
 [[nodiscard]] double peak_clean_clamp_rate(const PreparedModel& pm,
                                            std::int64_t samples);
 
@@ -58,8 +68,11 @@ struct ServeOptions {
 ///      through recorded zero-allocation execution; a model that cannot be
 ///      recorded logs the PlanError once and serves eagerly.
 /// pm must outlive the returned server. Detection requires a bounded
-/// scheme; with plain ReLU sites the clamp rate is identically zero and
-/// the detector never fires (a warning is logged).
+/// scheme: when no activation site has bounds installed the clamp rate is
+/// identically zero, so rather than serving with a detector that can never
+/// fire (a threshold calibrated to the floor, "on" but blind), make_server
+/// logs a warning naming the condition and disables detection for this
+/// server.
 [[nodiscard]] std::unique_ptr<serve::InferenceServer> make_server(
     PreparedModel& pm, const ServeOptions& options = {});
 

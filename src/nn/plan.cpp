@@ -325,7 +325,7 @@ PlanValueId InferencePlan::root(PlanValueId v) const noexcept {
 
 std::shared_ptr<InferencePlan> InferencePlan::compile(
     std::shared_ptr<Module> model, const Shape& sample_shape,
-    std::int64_t max_batch) {
+    std::int64_t max_batch, bool fuse) {
   if (!model) throw std::invalid_argument("InferencePlan: null model");
   if (max_batch < 1) {
     throw std::invalid_argument("InferencePlan: max_batch must be >= 1, got " +
@@ -343,12 +343,6 @@ std::shared_ptr<InferencePlan> InferencePlan::compile(
     throw PlanError("InferencePlan: model recorded no ops");
   }
 
-  // Input and output stay live across the whole program (see kLiveForever).
-  builder.values_[static_cast<std::size_t>(builder.root(0))].last_use =
-      kLiveForever;
-  builder.values_[static_cast<std::size_t>(builder.root(out))].last_use =
-      kLiveForever;
-
   auto plan = std::shared_ptr<InferencePlan>(new InferencePlan());
   plan->model_ = std::move(model);
   plan->values_ = std::move(builder.values_);
@@ -356,15 +350,20 @@ std::shared_ptr<InferencePlan> InferencePlan::compile(
   plan->output_ = out;
   plan->max_batch_ = max_batch;
 
+  if (fuse) plan->fuse_ops();
+  plan->finalize_liveness();
+
   // Per-sample scratch high-water mark: conv needs an im2col matrix, linear
   // a transposed weight; ops run one at a time, so one block serves all.
   std::size_t scratch = 0;
   for (const auto& op : plan->ops_) {
-    if (op.kind == PlanBuilder::OpKind::conv2d) {
+    if (op.kind == PlanBuilder::OpKind::conv2d ||
+        op.kind == PlanBuilder::OpKind::fused_conv2d_clamp) {
       scratch = std::max(
           scratch, static_cast<std::size_t>(op.geo.col_rows() *
                                             op.geo.col_cols()));
-    } else if (op.kind == PlanBuilder::OpKind::linear) {
+    } else if (op.kind == PlanBuilder::OpKind::linear ||
+               op.kind == PlanBuilder::OpKind::fused_linear_clamp) {
       scratch =
           std::max(scratch, static_cast<std::size_t>(op.in_f * op.out_f));
     }
@@ -373,6 +372,95 @@ std::shared_ptr<InferencePlan> InferencePlan::compile(
 
   plan->plan_arena();
   return plan;
+}
+
+void InferencePlan::fuse_ops() {
+  // Peephole over the recorded (pre-liveness) program: merge each conv2d /
+  // linear with an immediately following bounded activation that reads its
+  // output directly and is its sole consumer. The producer's output value
+  // goes dead — the fused op writes straight into the activation's slot —
+  // which is the arena saving fusion exists for. The liveness check uses
+  // the record-time op indices (this runs before finalize_liveness
+  // renumbers anything), so a residual edge or a later re-read of the
+  // pre-activation value blocks fusion exactly as it must.
+  std::vector<Op> fused;
+  fused.reserve(ops_.size());
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    Op& op = ops_[i];
+    const bool fusable_producer = op.kind == PlanBuilder::OpKind::conv2d ||
+                                  op.kind == PlanBuilder::OpKind::linear;
+    if (fusable_producer && i + 1 < ops_.size()) {
+      const Op& next = ops_[i + 1];
+      const Value& mid = values_[static_cast<std::size_t>(op.out)];
+      if (next.kind == PlanBuilder::OpKind::activation &&
+          next.in0 == op.out &&
+          mid.last_use == static_cast<std::int32_t>(i) + 1 &&
+          root(output_) != op.out) {
+        Op f = std::move(op);
+        f.kind = f.kind == PlanBuilder::OpKind::conv2d
+                     ? PlanBuilder::OpKind::fused_conv2d_clamp
+                     : PlanBuilder::OpKind::fused_linear_clamp;
+        f.site = next.site;
+        f.fb = next.fb;
+        if (!next.label.empty()) f.label += " + " + next.label;
+        values_[static_cast<std::size_t>(f.out)].dead = true;
+        f.out = next.out;
+        fused.push_back(std::move(f));
+        ++fused_ops_;
+        ++i;  // the activation op is consumed by the fused op
+        continue;
+      }
+    }
+    fused.push_back(std::move(op));
+  }
+  ops_ = std::move(fused);
+}
+
+void InferencePlan::finalize_liveness() {
+  // Recompute def/last_use against the final op list (fusion drops ops, so
+  // record-time indices are stale), mirroring the builder's bookkeeping:
+  // aliases track their root, a noop reads but does not define, and a
+  // value's live range starts at its defining op. Then pin the plan input
+  // and output live forever (see kLiveForever above).
+  for (auto& v : values_) {
+    if (v.alias_of < 0) {
+      v.def = -1;
+      v.last_use = -1;
+    }
+  }
+  const auto use = [&](PlanValueId v, std::int32_t idx) {
+    Value& r = values_[static_cast<std::size_t>(root(v))];
+    r.last_use = std::max(r.last_use, idx);
+  };
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    const auto idx = static_cast<std::int32_t>(i);
+    if (op.kind != PlanBuilder::OpKind::noop) {
+      Value& o = values_[static_cast<std::size_t>(root(op.out))];
+      o.def = idx;
+      o.last_use = std::max(o.last_use, idx);
+    }
+    use(op.in0, idx);
+    if (op.in1 >= 0) use(op.in1, idx);
+  }
+  // A root value no op defines any more (other than the plan input) was
+  // eliminated by fusion; it must not claim an arena slot.
+  for (std::size_t vi = 1; vi < values_.size(); ++vi) {
+    Value& v = values_[vi];
+    if (v.alias_of < 0 && v.def < 0) v.dead = true;
+  }
+  for (std::size_t vi = 0; vi < values_.size(); ++vi) {
+    Value& v = values_[vi];
+    if (v.alias_of >= 0) {
+      const Value& r = values_[static_cast<std::size_t>(
+          root(static_cast<PlanValueId>(vi)))];
+      v.def = r.def;
+      v.last_use = r.last_use;
+      v.dead = r.dead;
+    }
+  }
+  values_[static_cast<std::size_t>(root(0))].last_use = kLiveForever;
+  values_[static_cast<std::size_t>(root(output_))].last_use = kLiveForever;
 }
 
 void InferencePlan::plan_arena() {
@@ -412,6 +500,7 @@ void InferencePlan::plan_arena() {
     for (std::size_t vi = 0; vi < values_.size(); ++vi) {
       const Value& v = values_[vi];
       if (v.alias_of >= 0) continue;  // views resolve through their root
+      if (v.dead) continue;           // fusion eliminated it: no slot
       const auto size = align_up(
           static_cast<std::size_t>(v.sample_numel) * static_cast<std::size_t>(cap));
       // First-fit: scan occupied extents of time-overlapping blocks in
@@ -525,6 +614,82 @@ Tensor& InferencePlan::execute(std::int64_t batch) {
                            op.bias.defined() ? op.bias.data() : nullptr,
                            scratch, ptr(op.out));
         break;
+      case PlanBuilder::OpKind::fused_conv2d_clamp:
+      case PlanBuilder::OpKind::fused_linear_clamp: {
+        core::BoundedActivation* site = op.site;
+        if (site->profiling() || site->has_input_corruptor()) {
+          throw std::logic_error(
+              "InferencePlan: activation site '" + op.label +
+              "' entered profiling/corruptor mode after compile; planned "
+              "lanes serve clean inference only");
+        }
+        const bool is_conv =
+            op.kind == PlanBuilder::OpKind::fused_conv2d_clamp;
+        const std::int64_t in_stride =
+            values_[static_cast<std::size_t>(op.in0)].sample_numel;
+        const std::int64_t out_stride =
+            values_[static_cast<std::size_t>(op.out)].sample_numel;
+        const float* x = ptr(op.in0);
+        float* o = ptr(op.out);
+        const float* w = op.weight.data();
+        const float* b = op.bias.defined() ? op.bias.data() : nullptr;
+        // Scheme and bounds are re-read from the site on every execute, so
+        // re-protection after compile behaves exactly as on the unfused
+        // path. A plain ReLU is bound = +inf under the clamp cascade (every
+        // finite positive passes, NaN maps to 0), with counting off — the
+        // unfused relu never counts either.
+        const core::Scheme scheme = site->scheme();
+        static constexpr float kInf = std::numeric_limits<float>::infinity();
+        ag::ClampSpec spec{&kInf, 1, ag::ClipMode::zero_above, false};
+        bool count = false;
+        if (scheme != core::Scheme::relu) {
+          if (!site->has_bounds()) {
+            throw std::logic_error("BoundedActivation(" +
+                                   core::to_string(scheme) +
+                                   "): bounds not initialised");
+          }
+          const Tensor& bt = site->bounds().value();
+          op.fb.validate_bound(bt.numel());
+          count = site->clamp_counting();
+          spec = {bt.data(), bt.numel(),
+                  scheme == core::Scheme::ranger ? ag::ClipMode::saturate
+                                                 : ag::ClipMode::zero_above,
+                  count};
+        }
+        std::uint64_t events = 0;
+        if (scheme == core::Scheme::fitrelu) {
+          // FitReLU's sigmoid shaping has no clip-kernel form: run the
+          // producer (bias included) into the fused output slot, then the
+          // FitReLU pass in place — the same two steps in the same order as
+          // the unfused program, minus the separate pre-activation slot.
+          if (is_conv) {
+            for (std::int64_t s = 0; s < batch; ++s) {
+              ag::conv2d_forward_sample(op.geo, op.out_c, x + s * in_stride,
+                                        w, b, scratch, o + s * out_stride);
+            }
+          } else {
+            ag::linear_forward(batch, op.in_f, op.out_f, x, w, b, scratch, o);
+          }
+          const Tensor& bt = site->bounds().value();
+          events = ag::fitrelu_forward(o, bt.data(), bt.numel(), op.fb,
+                                       site->steepness(), o,
+                                       batch * out_stride, count);
+        } else if (is_conv) {
+          for (std::int64_t s = 0; s < batch; ++s) {
+            events += ag::conv2d_clamp_forward_sample(
+                op.geo, op.out_c, x + s * in_stride, w, b, scratch,
+                o + s * out_stride, spec);
+          }
+        } else {
+          events = ag::linear_clamp_forward(batch, op.in_f, op.out_f, x, w, b,
+                                            scratch, o, spec);
+        }
+        if (count) {
+          site->add_clamp_counts(
+              events, static_cast<std::uint64_t>(batch * out_stride));
+        }
+        break;
+      }
       case PlanBuilder::OpKind::batch_norm2d: {
         const Shape& xs = values_[static_cast<std::size_t>(op.in0)].sample_shape;
         ag::batch_norm2d_eval_forward(batch, xs[0], xs[1] * xs[2], ptr(op.in0),
@@ -611,11 +776,13 @@ Tensor& InferencePlan::execute(std::int64_t batch) {
 std::string InferencePlan::summary() const {
   static const char* const kKindNames[] = {
       "conv2d",      "linear", "batch_norm2d", "max_pool2d",
-      "global_avg_pool", "activation", "add",  "noop"};
+      "global_avg_pool", "activation", "add",  "noop",
+      "fused_conv2d_clamp", "fused_linear_clamp"};
   std::ostringstream os;
-  os << "InferencePlan: " << ops_.size() << " ops, " << values_.size()
-     << " values, max_batch " << max_batch_ << ", arena "
-     << arena_bytes() / 1024 << " KiB (" << buckets_.size() << " buckets)\n";
+  os << "InferencePlan: " << ops_.size() << " ops (" << fused_ops_
+     << " fused), " << values_.size() << " values, max_batch " << max_batch_
+     << ", arena " << arena_bytes() / 1024 << " KiB (" << buckets_.size()
+     << " buckets)\n";
   for (std::size_t i = 0; i < ops_.size(); ++i) {
     const Op& op = ops_[i];
     os << "  %" << op.out << " = "

@@ -11,6 +11,16 @@
 //             tensors by shared storage — live fault injection and clean-
 //             image scrubs through quant::ParamImage remain visible to the
 //             plan because they write through that same storage.
+//   fuse      A peephole pass (on by default; serve::ServerOptions::fuse)
+//             merges conv2d/linear ops with the bounded activation that is
+//             their sole consumer into single fused ops whose epilogue
+//             applies bias + bound-clamp (+ clamp-event counting) directly
+//             on the GEMM output — the pre-activation tensor never occupies
+//             an arena slot. The epilogue runs the exact per-element float
+//             sequence of the unfused bias-add + clamp, so fusion preserves
+//             the plan-vs-eager bit-identity contract; the activation site
+//             is still read at execute time, so re-protection after compile
+//             stays visible exactly as on the unfused path.
 //   plan      A liveness pass assigns every intermediate value an offset in
 //             one pre-sized activation arena (first-fit over live ranges,
 //             which degenerates to ping-pong for chain models), with a
@@ -119,6 +129,10 @@ class PlanBuilder {
     activation,
     add,
     noop,
+    // Fusion-pass products: a conv2d/linear whose bias + bound-clamp run as
+    // an epilogue on the GEMM output (never recorded directly).
+    fused_conv2d_clamp,
+    fused_linear_clamp,
   };
 
   struct Value {
@@ -127,6 +141,7 @@ class PlanBuilder {
     PlanValueId alias_of = -1;  ///< flatten views share their source's arena slot
     std::int32_t def = -1;      ///< op index that writes it (-1: plan input)
     std::int32_t last_use = -1; ///< last op index that reads it
+    bool dead = false;          ///< eliminated by fusion; gets no arena slot
   };
 
   struct Op {
@@ -173,13 +188,16 @@ class PlanBuilder {
 class InferencePlan {
  public:
   /// Record `model`'s inference op sequence for per-sample inputs of shape
-  /// `sample_shape` ([C,H,W]) and batches of 1..max_batch, then plan the
-  /// arena. Throws PlanError when the model cannot be recorded (message
-  /// names the module), std::invalid_argument for bad arguments. The plan
-  /// keeps `model` alive (ops point into its parameter storage).
+  /// `sample_shape` ([C,H,W]) and batches of 1..max_batch, run the fusion
+  /// peephole (unless `fuse` is false — the A/B lever for tests and
+  /// benches), then plan the arena. Throws PlanError when the model cannot
+  /// be recorded (message names the module), std::invalid_argument for bad
+  /// arguments. The plan keeps `model` alive (ops point into its parameter
+  /// storage).
   static std::shared_ptr<InferencePlan> compile(std::shared_ptr<Module> model,
                                                 const Shape& sample_shape,
-                                                std::int64_t max_batch);
+                                                std::int64_t max_batch,
+                                                bool fuse = true);
 
   InferencePlan(const InferencePlan&) = delete;
   InferencePlan& operator=(const InferencePlan&) = delete;
@@ -198,6 +216,11 @@ class InferencePlan {
   [[nodiscard]] std::int64_t max_batch() const noexcept { return max_batch_; }
   [[nodiscard]] const Shape& sample_shape() const;
   [[nodiscard]] std::size_t op_count() const noexcept { return ops_.size(); }
+  /// Number of conv/linear+clamp pairs the fusion pass merged (0 when
+  /// compiled with fuse=false or when no pair qualified).
+  [[nodiscard]] std::size_t fused_op_count() const noexcept {
+    return fused_ops_;
+  }
   [[nodiscard]] std::size_t arena_bytes() const noexcept {
     return arena_floats_ * sizeof(float);
   }
@@ -216,6 +239,8 @@ class InferencePlan {
 
   InferencePlan() = default;
 
+  void fuse_ops();
+  void finalize_liveness();
   void plan_arena();
   [[nodiscard]] const Bucket& bucket_for(std::int64_t batch) const;
   PlanValueId root(PlanValueId v) const noexcept;
@@ -224,6 +249,7 @@ class InferencePlan {
   std::vector<Value> values_;
   std::vector<Op> ops_;
   PlanValueId output_ = -1;
+  std::size_t fused_ops_ = 0;
   std::int64_t max_batch_ = 0;
   std::size_t scratch_floats_ = 0;
   std::vector<Bucket> buckets_;

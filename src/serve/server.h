@@ -87,6 +87,14 @@ struct ServerOptions {
   /// fall back to the eager forward path; outputs are bit-identical either
   /// way, so this is purely a performance switch.
   bool plan = true;
+  /// Fuse conv/linear + bound-clamp pairs when compiling lane plans
+  /// (nn::InferencePlan::compile's fuse flag): the clamp runs as a GEMM
+  /// epilogue and the pre-activation tensor gets no arena slot. Outputs and
+  /// clamp-event counts are bit-identical either way (plan_test's fusion
+  /// matrix pins this), so — like `plan` — this is purely a performance
+  /// switch; it is the A/B lever serve_throughput's fuse_speedup row uses.
+  /// Ignored when `plan` is off.
+  bool fuse = true;
   /// Force the portable scalar kernel backend for the whole process
   /// (kern::force_backend; see tensor/kernels/kernels.h). Kernel dispatch
   /// is process-wide — per-lane or per-request backends would break the

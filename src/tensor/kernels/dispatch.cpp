@@ -137,4 +137,28 @@ std::uint64_t count_over_bound(const float* x, const float* bound,
   return active_table().count_over_bound(x, bound, bound_numel, feat, hw, n);
 }
 
+std::uint64_t fused_bias_clip_cc(float* o, float bias, float bound,
+                                 bool saturate, std::int64_t n,
+                                 bool count) noexcept {
+  return active_table().fused_bias_clip_cc(o, bias, bound, saturate, n, count);
+}
+
+std::uint64_t fused_bias_clip_cr(float* o, float bias, const float* bound,
+                                 bool saturate, std::int64_t n,
+                                 bool count) noexcept {
+  return active_table().fused_bias_clip_cr(o, bias, bound, saturate, n, count);
+}
+
+std::uint64_t fused_bias_clip_rc(float* o, const float* bias, float bound,
+                                 bool saturate, std::int64_t n,
+                                 bool count) noexcept {
+  return active_table().fused_bias_clip_rc(o, bias, bound, saturate, n, count);
+}
+
+std::uint64_t fused_bias_clip_rr(float* o, const float* bias,
+                                 const float* bound, bool saturate,
+                                 std::int64_t n, bool count) noexcept {
+  return active_table().fused_bias_clip_rr(o, bias, bound, saturate, n, count);
+}
+
 }  // namespace fitact::kern

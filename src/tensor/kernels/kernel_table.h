@@ -24,6 +24,21 @@ struct KernelTable {
                                     std::int64_t bound_numel,
                                     std::int64_t feat, std::int64_t hw,
                                     std::int64_t n) noexcept;
+  // Fused GEMM epilogues (bias + bound-clamp + optional event count in one
+  // pass over the output while it is still cache-hot): const/rowwise bias x
+  // const/rowwise bound. See kernels.h for the exact per-element contract.
+  std::uint64_t (*fused_bias_clip_cc)(float* o, float bias, float bound,
+                                      bool saturate, std::int64_t n,
+                                      bool count) noexcept;
+  std::uint64_t (*fused_bias_clip_cr)(float* o, float bias, const float* bound,
+                                      bool saturate, std::int64_t n,
+                                      bool count) noexcept;
+  std::uint64_t (*fused_bias_clip_rc)(float* o, const float* bias, float bound,
+                                      bool saturate, std::int64_t n,
+                                      bool count) noexcept;
+  std::uint64_t (*fused_bias_clip_rr)(float* o, const float* bias,
+                                      const float* bound, bool saturate,
+                                      std::int64_t n, bool count) noexcept;
 };
 
 /// The portable reference backend (kernels_scalar.cpp). Always available;

@@ -123,4 +123,42 @@ std::uint64_t count_over_bound(const float* x, const float* bound,
                                std::int64_t bound_numel, std::int64_t feat,
                                std::int64_t hw, std::int64_t n) noexcept;
 
+// ---- fused GEMM epilogues --------------------------------------------------
+//
+// In-place bias-add + bound-clamp (+ optional clamp-event count) over a GEMM
+// output span, used by the plan fusion pass so the pre-activation tensor
+// never round-trips through the arena. Per element, with xi = o[i] + bias
+// and b = the element's bound:
+//   xi <= 0  -> 0
+//   xi <= b  -> xi
+//   else     -> saturate ? b : 0       (NaN lands here: both compares fail)
+// The count (returned when `count` is set, else 0) tallies xi > b — the same
+// statistic clipped_relu reports on the unfused path. The bias add and the
+// clamp are the exact float operations the unfused bias_add_* + clipped_relu
+// sequence performs, in the same order, so fusion stays bit-identical.
+// Suffix encodes the (bias, bound) shapes: c = one constant for the whole
+// span, r = one value per element.
+
+/// Conv channel plane (scalar bias) under a layer- or channel-granular
+/// bound (one bound value for the span).
+std::uint64_t fused_bias_clip_cc(float* o, float bias, float bound,
+                                 bool saturate, std::int64_t n,
+                                 bool count) noexcept;
+
+/// Conv channel plane (scalar bias) under per-neuron bounds (one bound per
+/// element of the span).
+std::uint64_t fused_bias_clip_cr(float* o, float bias, const float* bound,
+                                 bool saturate, std::int64_t n,
+                                 bool count) noexcept;
+
+/// Linear output row (elementwise bias) under a layer-granular bound.
+std::uint64_t fused_bias_clip_rc(float* o, const float* bias, float bound,
+                                 bool saturate, std::int64_t n,
+                                 bool count) noexcept;
+
+/// Linear output row (elementwise bias) under per-neuron bounds.
+std::uint64_t fused_bias_clip_rr(float* o, const float* bias,
+                                 const float* bound, bool saturate,
+                                 std::int64_t n, bool count) noexcept;
+
 }  // namespace fitact::kern

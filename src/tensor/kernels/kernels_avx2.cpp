@@ -271,6 +271,102 @@ std::uint64_t avx2_count_over_bound(const float* x, const float* bound,
   return events;
 }
 
+// ---- fused GEMM epilogues --------------------------------------------------
+// Each is addps (the same single IEEE add the unfused bias pass performs)
+// followed by the count8/clip8 pair — so the fused output and event tally
+// stay bit-identical to the unfused bias_add_* + clipped_relu sequence, on
+// this backend and on scalar.
+
+std::uint64_t avx2_fused_bias_clip_cc(float* o, float bias, float bound,
+                                      bool saturate, std::int64_t n,
+                                      bool count) noexcept {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 biasv = _mm256_set1_ps(bias);
+  const __m256 bv = _mm256_set1_ps(bound);
+  const __m256 over = saturate ? bv : zero;
+  std::uint64_t events = 0;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_add_ps(_mm256_loadu_ps(o + i), biasv);
+    if (count) events += count8(xv, bv);
+    _mm256_storeu_ps(o + i, clip8(xv, bv, over, zero));
+  }
+  const float over_s = saturate ? bound : 0.0f;
+  for (; i < n; ++i) {
+    const float xi = o[i] + bias;
+    if (count) events += xi > bound;
+    o[i] = xi <= 0.0f ? 0.0f : (xi <= bound ? xi : over_s);
+  }
+  return events;
+}
+
+std::uint64_t avx2_fused_bias_clip_cr(float* o, float bias, const float* bound,
+                                      bool saturate, std::int64_t n,
+                                      bool count) noexcept {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 biasv = _mm256_set1_ps(bias);
+  std::uint64_t events = 0;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv = _mm256_add_ps(_mm256_loadu_ps(o + i), biasv);
+    const __m256 bv = _mm256_loadu_ps(bound + i);
+    if (count) events += count8(xv, bv);
+    _mm256_storeu_ps(o + i, clip8(xv, bv, saturate ? bv : zero, zero));
+  }
+  for (; i < n; ++i) {
+    const float xi = o[i] + bias;
+    const float bi = bound[i];
+    if (count) events += xi > bi;
+    o[i] = xi <= 0.0f ? 0.0f : (xi <= bi ? xi : (saturate ? bi : 0.0f));
+  }
+  return events;
+}
+
+std::uint64_t avx2_fused_bias_clip_rc(float* o, const float* bias, float bound,
+                                      bool saturate, std::int64_t n,
+                                      bool count) noexcept {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 bv = _mm256_set1_ps(bound);
+  const __m256 over = saturate ? bv : zero;
+  std::uint64_t events = 0;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv =
+        _mm256_add_ps(_mm256_loadu_ps(o + i), _mm256_loadu_ps(bias + i));
+    if (count) events += count8(xv, bv);
+    _mm256_storeu_ps(o + i, clip8(xv, bv, over, zero));
+  }
+  const float over_s = saturate ? bound : 0.0f;
+  for (; i < n; ++i) {
+    const float xi = o[i] + bias[i];
+    if (count) events += xi > bound;
+    o[i] = xi <= 0.0f ? 0.0f : (xi <= bound ? xi : over_s);
+  }
+  return events;
+}
+
+std::uint64_t avx2_fused_bias_clip_rr(float* o, const float* bias,
+                                      const float* bound, bool saturate,
+                                      std::int64_t n, bool count) noexcept {
+  const __m256 zero = _mm256_setzero_ps();
+  std::uint64_t events = 0;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 xv =
+        _mm256_add_ps(_mm256_loadu_ps(o + i), _mm256_loadu_ps(bias + i));
+    const __m256 bv = _mm256_loadu_ps(bound + i);
+    if (count) events += count8(xv, bv);
+    _mm256_storeu_ps(o + i, clip8(xv, bv, saturate ? bv : zero, zero));
+  }
+  for (; i < n; ++i) {
+    const float xi = o[i] + bias[i];
+    const float bi = bound[i];
+    if (count) events += xi > bi;
+    o[i] = xi <= 0.0f ? 0.0f : (xi <= bi ? xi : (saturate ? bi : 0.0f));
+  }
+  return events;
+}
+
 }  // namespace
 
 const KernelTable& avx2_table() noexcept {
@@ -279,6 +375,10 @@ const KernelTable& avx2_table() noexcept {
       avx2_add,           avx2_bias_add_row,
       avx2_bias_add_const, avx2_clipped_relu,
       avx2_count_over_bound,
+      avx2_fused_bias_clip_cc,
+      avx2_fused_bias_clip_cr,
+      avx2_fused_bias_clip_rc,
+      avx2_fused_bias_clip_rr,
   };
   return kTable;
 }

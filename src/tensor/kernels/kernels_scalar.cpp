@@ -152,6 +152,87 @@ std::uint64_t scalar_count_over_bound(const float* x, const float* bound,
   return events;
 }
 
+// Fused GEMM epilogues: the bias add and the clamp are the same float ops
+// the unfused bias_add_* + clip_span_* sequence performs, in the same order
+// per element — only the store of the pre-activation value is elided. That
+// is what keeps fused plans bit-identical to unfused ones.
+
+std::uint64_t scalar_fused_bias_clip_cc(float* o, float bias, float bound,
+                                        bool saturate, std::int64_t n,
+                                        bool count) noexcept {
+  std::uint64_t events = 0;
+  const float over = saturate ? bound : 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float xi = o[i] + bias;
+    if (count) events += xi > bound;
+    if (xi <= 0.0f) {
+      o[i] = 0.0f;
+    } else if (xi <= bound) {
+      o[i] = xi;
+    } else {
+      o[i] = over;  // NaN lands here too: both ordered compares fail
+    }
+  }
+  return events;
+}
+
+std::uint64_t scalar_fused_bias_clip_cr(float* o, float bias,
+                                        const float* bound, bool saturate,
+                                        std::int64_t n, bool count) noexcept {
+  std::uint64_t events = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float xi = o[i] + bias;
+    const float bi = bound[i];
+    if (count) events += xi > bi;
+    if (xi <= 0.0f) {
+      o[i] = 0.0f;
+    } else if (xi <= bi) {
+      o[i] = xi;
+    } else {
+      o[i] = saturate ? bi : 0.0f;
+    }
+  }
+  return events;
+}
+
+std::uint64_t scalar_fused_bias_clip_rc(float* o, const float* bias,
+                                        float bound, bool saturate,
+                                        std::int64_t n, bool count) noexcept {
+  std::uint64_t events = 0;
+  const float over = saturate ? bound : 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float xi = o[i] + bias[i];
+    if (count) events += xi > bound;
+    if (xi <= 0.0f) {
+      o[i] = 0.0f;
+    } else if (xi <= bound) {
+      o[i] = xi;
+    } else {
+      o[i] = over;
+    }
+  }
+  return events;
+}
+
+std::uint64_t scalar_fused_bias_clip_rr(float* o, const float* bias,
+                                        const float* bound, bool saturate,
+                                        std::int64_t n, bool count) noexcept {
+  std::uint64_t events = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float xi = o[i] + bias[i];
+    const float bi = bound[i];
+    if (count) events += xi > bi;
+    if (xi <= 0.0f) {
+      o[i] = 0.0f;
+    } else if (xi <= bi) {
+      o[i] = xi;
+    } else {
+      o[i] = saturate ? bi : 0.0f;
+    }
+  }
+  return events;
+}
+
 }  // namespace
 
 const KernelTable& scalar_table() noexcept {
@@ -160,6 +241,10 @@ const KernelTable& scalar_table() noexcept {
       scalar_add,           scalar_bias_add_row,
       scalar_bias_add_const, scalar_clipped_relu,
       scalar_count_over_bound,
+      scalar_fused_bias_clip_cc,
+      scalar_fused_bias_clip_cr,
+      scalar_fused_bias_clip_rc,
+      scalar_fused_bias_clip_rr,
   };
   return kTable;
 }

@@ -1,0 +1,20 @@
+// Ceil nearest-rank percentile — the one definition every latency report in
+// the tree uses, so no bench can quietly regress to the floor-index form
+// (0.95 * (n-1) truncated), which indexes below the requested rank for most
+// sample counts: at n=10 it picks index 8, a p90 masquerading as a p95.
+#pragma once
+
+#include <vector>
+
+namespace fitact::ut {
+
+/// The ceil nearest-rank percentile of an ascending-sorted sample vector:
+/// the smallest sample >= fraction `p` of the distribution, i.e. element
+/// rank ceil(p * n) (1-based, capped at n). p = 1.0 is the maximum; small p
+/// clamps to rank 1, so n = 1 returns the single sample for every p.
+/// Throws std::invalid_argument for an empty vector or p outside (0, 1].
+/// The caller owns sorting — reports take several percentiles of one sorted
+/// vector, so sorting inside would hide an O(n log n) per call.
+[[nodiscard]] double percentile(const std::vector<double>& sorted, double p);
+
+}  // namespace fitact::ut

@@ -280,5 +280,45 @@ TEST(Serve, CalibrationMeasuresCleanPeakRate) {
   EXPECT_EQ(peak, peak_clean_clamp_rate(pm, 24));
 }
 
+// A sample budget above the test split is a clamp to the split size, never
+// a silent substitution; a non-positive budget is a configuration error
+// that must be rejected, not defaulted around.
+TEST(Serve, CalibrationSampleBudgetIsValidatedAndClamped) {
+  PreparedModel pm = prepared(29);
+  { const auto warm = make_server(pm); }
+  EXPECT_THROW((void)peak_clean_clamp_rate(pm, 0), std::invalid_argument);
+  EXPECT_THROW((void)peak_clean_clamp_rate(pm, -5), std::invalid_argument);
+  // 10'000 requested, 48 available: identical to measuring the full split.
+  EXPECT_EQ(peak_clean_clamp_rate(pm, 10'000),
+            peak_clean_clamp_rate(pm, pm.test->size()));
+
+  ServeOptions bad;
+  bad.calibration_samples = 0;
+  EXPECT_THROW(make_server(pm, bad), std::invalid_argument);
+  bad.calibration_samples = -1;
+  EXPECT_THROW(make_server(pm, bad), std::invalid_argument);
+}
+
+// An unprotected model has no bounds, so its clamp rate is identically
+// zero and a detector calibrated on it could never fire. make_server must
+// disable detection (visibly, in options()) instead of serving behind an
+// armed-looking flag.
+TEST(Serve, DetectionDisabledWhenNoSiteHasBounds) {
+  const ExperimentScale scale = tiny_scale();
+  PreparedModel pm = prepare_model("tinycnn", 10, scale, "", 37);
+  // No protect_model: every site is still plain ReLU with no bounds.
+  ServeOptions options;
+  options.server.detection = true;
+  const auto server = make_server(pm, options);
+  EXPECT_FALSE(server->options().detection);
+  // The server still serves; the flag is the only thing that changed.
+  (void)server->infer(Tensor::zeros(Shape{3, 32, 32}));
+
+  // With bounds installed, the same configuration keeps detection on.
+  PreparedModel protected_pm = prepared(37);
+  const auto armed = make_server(protected_pm, options);
+  EXPECT_TRUE(armed->options().detection);
+}
+
 }  // namespace
 }  // namespace fitact::ev
