@@ -59,9 +59,10 @@ fi
 # --------------------------------------------------------------------------
 SIMD_HITS=$(grep -rnE '#[[:space:]]*include[[:space:]]*[<"](immintrin|x86intrin|xmmintrin|emmintrin|pmmintrin|tmmintrin|smmintrin|nmmintrin|avxintrin|avx2intrin|arm_neon)\.h' \
   src bench tests examples --include='*.h' --include='*.cpp' 2>/dev/null \
-  | grep -v '^src/tensor/kernels/' || true)
+  | grep -v '^src/tensor/kernels/kernels_avx2' || true)
 if [[ -n "$SIMD_HITS" ]]; then
-  echo "lint: raw SIMD intrinsics include outside src/tensor/kernels/" \
+  echo "lint: raw SIMD intrinsics include outside the" \
+       "src/tensor/kernels/kernels_avx2* translation units" \
        "(dispatch through tensor/kernels/kernels.h):"
   echo "$SIMD_HITS"
   STATUS=1

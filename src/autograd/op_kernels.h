@@ -319,6 +319,34 @@ inline void max_pool2d_forward(std::int64_t batch, std::int64_t ch,
   const std::int64_t oh = (h - kernel) / stride + 1;
   const std::int64_t ow = (w - kernel) / stride + 1;
   std::int64_t oi = 0;
+  if (indices_or_null == nullptr) {
+    // Inference path: no argmax to track, so the window max runs branch-free
+    // (the ternary compiles to maxss; the argmax loop below mispredicts on
+    // every new maximum). Selection is identical to the tracking loop,
+    // including NaN handling — both keep the incumbent when the comparison
+    // with a NaN is false.
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (std::int64_t c = 0; c < ch; ++c) {
+        const float* plane = x + (b * ch + c) * h * w;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const float* win_row = plane + y * stride * w;
+          for (std::int64_t xo = 0; xo < ow; ++xo, ++oi) {
+            const float* win = win_row + xo * stride;
+            float best = win[0];
+            for (std::int64_t ky = 0; ky < kernel; ++ky) {
+              const float* row = win + ky * w;
+              for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                const float v = row[kx];
+                best = best < v ? v : best;
+              }
+            }
+            out[oi] = best;
+          }
+        }
+      }
+    }
+    return;
+  }
   for (std::int64_t b = 0; b < batch; ++b) {
     for (std::int64_t c = 0; c < ch; ++c) {
       const float* plane = x + (b * ch + c) * h * w;

@@ -1,6 +1,7 @@
 #include "eval/serving.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -134,11 +135,36 @@ std::unique_ptr<serve::InferenceServer> make_server(
                       "split provides a sample shape; lanes will serve "
                       "eagerly";
   }
+  if (config.precision == nn::Precision::int8 && sample_shape.empty()) {
+    // int8 has no eager fallback; without a plannable shape the server
+    // would silently serve fp32 under an int8 label.
+    throw std::invalid_argument(
+        "make_server: precision=int8 requires a test split to provide the "
+        "plan's sample shape");
+  }
+
+  // Int8 input calibration: the first layer's activation scale comes from
+  // the max-abs of real input samples (deeper layers derive theirs from the
+  // clamp bounds). Reuses the detection-calibration sample budget.
+  float input_range = -1.0f;
+  if (config.precision == nn::Precision::int8) {
+    const std::int64_t total =
+        std::min<std::int64_t>(options.calibration_samples, pm.test->size());
+    for (std::int64_t i = 0; i < total; ++i) {
+      const Tensor x = pm.test->batch(i, 1, nullptr);
+      const float* p = x.data();
+      for (std::int64_t j = 0; j < x.numel(); ++j) {
+        input_range = std::max(input_range, std::abs(p[j]));
+      }
+    }
+    ut::log_info() << "make_server: int8 input range calibrated to "
+                   << input_range << " over " << total << " samples";
+  }
 
   // The server itself enables clamp counting on lane sites when detection
   // is on, so the factory only assembles the lane anatomy.
   bool plan_error_logged = false;
-  serve::LaneFactory factory = [&pm, &config, &sample_shape,
+  serve::LaneFactory factory = [&pm, &config, &sample_shape, input_range,
                                 &plan_error_logged](std::size_t index) {
     serve::Lane lane;
     lane.model = replicate_model(pm);
@@ -149,14 +175,20 @@ std::unique_ptr<serve::InferenceServer> make_server(
       lane.model->set_training(false);
       try {
         lane.plan = nn::InferencePlan::compile(lane.model, sample_shape,
-                                               config.max_batch, config.fuse);
+                                               config.max_batch, config.fuse,
+                                               config.precision, input_range);
         if (index == 0) {
           ut::log_info() << "make_server: compiled lane plan ("
                          << lane.plan->op_count() << " ops, "
-                         << lane.plan->fused_op_count() << " fused, arena "
+                         << lane.plan->fused_op_count() << " fused, "
+                         << lane.plan->int8_op_count() << " int8, arena "
                          << lane.plan->arena_bytes() / 1024 << " KiB)";
         }
       } catch (const nn::PlanError& e) {
+        // int8 never falls back: an eager lane would silently serve fp32
+        // under an int8 label (the bit-width is an accuracy contract, not a
+        // performance hint), so compile failures propagate to the caller.
+        if (config.precision == nn::Precision::int8) throw;
         if (!plan_error_logged) {
           ut::log_warn() << "make_server: model not plannable, lanes serve "
                             "eagerly: "

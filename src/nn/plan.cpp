@@ -1,12 +1,14 @@
 #include "nn/plan.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/activation.h"
+#include "tensor/kernels/kernels.h"
 #include "util/thread_pool.h"
 
 namespace fitact::nn {
@@ -34,6 +36,91 @@ Shape batched(std::int64_t batch, const Shape& sample) {
   dims.push_back(batch);
   dims.insert(dims.end(), sample.dims().begin(), sample.dims().end());
   return Shape(std::move(dims));
+}
+
+/// Int8 scratch offsets are 64-byte aligned (vector load friendliness; the
+/// buffers themselves come from operator new[], which is already aligned).
+std::size_t align_up_bytes(std::size_t n) { return (n + 63) / 64 * 64; }
+
+/// True when the scheme's forward is the clip cascade the int8 epilogue
+/// implements (FitReLU's sigmoid shaping and plain ReLU's missing bound
+/// both disqualify).
+bool clampable_scheme(core::Scheme s) {
+  return s == core::Scheme::clip_act || s == core::Scheme::ranger ||
+         s == core::Scheme::fitrelu_naive;
+}
+
+/// Output range of an activation site, from its clamp bounds: every output
+/// lands in [0, max(bound)] under both clamp modes. -1 when the scheme is
+/// not clampable or bounds are missing/degenerate — the range (and int8
+/// eligibility) is then unknown.
+float site_output_range(const core::BoundedActivation* site) {
+  if (site == nullptr || !clampable_scheme(site->scheme()) ||
+      !site->has_bounds()) {
+    return -1.0f;
+  }
+  const Tensor& bt = site->bounds().value();
+  float maxb = 0.0f;
+  const float* b = bt.data();
+  for (std::int64_t i = 0; i < bt.numel(); ++i) {
+    maxb = std::max(maxb, b[i]);
+  }
+  return maxb > 0.0f ? maxb : -1.0f;
+}
+
+/// CHW int8 -> HWC int8 (channel-fastest), the layout im2row_i8 gathers
+/// from. The transpose costs one pass over the sample but turns every patch
+/// row of the gather into contiguous byte copies — the gather is the int8
+/// conv's second-largest cost after the GEMM, the transpose is noise.
+void chw_to_hwc_i8(const std::int8_t* chw, std::int8_t* hwc, std::int64_t c_n,
+                   std::int64_t hw) {
+  for (std::int64_t c = 0; c < c_n; ++c) {
+    const std::int8_t* src = chw + c * hw;
+    for (std::int64_t i = 0; i < hw; ++i) hwc[i * c_n + c] = src[i];
+  }
+}
+
+/// im2row for quantized conv input: the [out_h*out_w, C*kh*kw] patch matrix
+/// (the transpose of the fp32 path's im2col), padded to row_stride columns
+/// with zeros so the int8 GEMM runs whole blocks. Every row is rewritten in
+/// full, so a dirty shared scratch buffer is fine.
+///
+/// The k-axis is ordered [kh][kw][c] — channel fastest — and the input is
+/// the HWC image chw_to_hwc_i8 produces. quantize_ops packs the weights
+/// with the same permutation, and an integer dot product is invariant under
+/// any shared k-permutation, so GEMM results (and cross-backend
+/// bit-identity) are untouched. What the order buys: for each (oh, ow, kh)
+/// the patch bytes [kw0..kw1) x [0..C) are one contiguous source run of the
+/// image and one contiguous destination run of the row — a single memcpy of
+/// (kw1-kw0)*C bytes replaces a per-element bounds-checked gather.
+void im2row_i8(const Conv2dGeometry& g, const std::int8_t* hwc,
+               std::int8_t* rows, std::int64_t row_stride) {
+  // One upfront memset covers both the halo zeros and the row_stride
+  // padding tail, so the copies below only ever move valid image bytes.
+  // (It also serves as a streaming prefetch of the destination: narrowing
+  // it to just the halo bytes measures slightly slower.)
+  const std::int64_t ow_n = g.out_w();
+  const std::int64_t c_n = g.in_channels;
+  std::memset(rows, 0,
+              static_cast<std::size_t>(g.out_h() * ow_n * row_stride));
+  for (std::int64_t oh = 0; oh < g.out_h(); ++oh) {
+    std::int8_t* base = rows + oh * ow_n * row_stride;
+    for (std::int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      const std::int64_t ih = oh * g.stride - g.padding + kh;
+      if (ih < 0 || ih >= g.in_h) continue;
+      const std::int8_t* src_row = hwc + ih * g.in_w * c_n;
+      std::int8_t* col = base + kh * g.kernel_w * c_n;
+      for (std::int64_t ow = 0; ow < ow_n; ++ow) {
+        const std::int64_t iw0 = ow * g.stride - g.padding;
+        const std::int64_t klo = std::max<std::int64_t>(0, -iw0);
+        const std::int64_t khi =
+            std::min<std::int64_t>(g.kernel_w, g.in_w - iw0);
+        std::memcpy(col + ow * row_stride + klo * c_n,
+                    src_row + (iw0 + klo) * c_n,
+                    static_cast<std::size_t>((khi - klo) * c_n));
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -325,11 +412,17 @@ PlanValueId InferencePlan::root(PlanValueId v) const noexcept {
 
 std::shared_ptr<InferencePlan> InferencePlan::compile(
     std::shared_ptr<Module> model, const Shape& sample_shape,
-    std::int64_t max_batch, bool fuse) {
+    std::int64_t max_batch, bool fuse, Precision precision,
+    float input_range) {
   if (!model) throw std::invalid_argument("InferencePlan: null model");
   if (max_batch < 1) {
     throw std::invalid_argument("InferencePlan: max_batch must be >= 1, got " +
                                 std::to_string(max_batch));
+  }
+  if (precision == Precision::int8 && !fuse) {
+    throw std::invalid_argument(
+        "InferencePlan: precision=int8 requires fuse=true (the quantization "
+        "pass converts fused clamp ops)");
   }
   if (model->subtree_pending_init()) {
     throw std::invalid_argument(
@@ -349,13 +442,26 @@ std::shared_ptr<InferencePlan> InferencePlan::compile(
   plan->ops_ = std::move(builder.ops_);
   plan->output_ = out;
   plan->max_batch_ = max_batch;
+  plan->precision_ = precision;
 
   if (fuse) plan->fuse_ops();
+  if (precision == Precision::int8) {
+    plan->quantize_ops(input_range);
+    if (plan->int8_ops_ == 0) {
+      throw PlanError(
+          "InferencePlan: precision=int8 but no fused clamp op qualified for "
+          "quantization (needs bounded clampable activations and a positive "
+          "input_range)");
+    }
+  }
   plan->finalize_liveness();
 
   // Per-sample scratch high-water mark: conv needs an im2col matrix, linear
   // a transposed weight; ops run one at a time, so one block serves all.
+  // Int8 ops don't participate — their integer scratch is sized below, and
+  // they never fall back to fp32 (execute throws instead).
   std::size_t scratch = 0;
+  std::size_t scratch_i8 = 0;
   for (const auto& op : plan->ops_) {
     if (op.kind == PlanBuilder::OpKind::conv2d ||
         op.kind == PlanBuilder::OpKind::fused_conv2d_clamp) {
@@ -366,9 +472,25 @@ std::shared_ptr<InferencePlan> InferencePlan::compile(
                op.kind == PlanBuilder::OpKind::fused_linear_clamp) {
       scratch =
           std::max(scratch, static_cast<std::size_t>(op.in_f * op.out_f));
+    } else if (op.kind == PlanBuilder::OpKind::fused_conv2d_int8_clamp) {
+      // Quantized input sample + im2row patch matrix.
+      const auto in_numel = static_cast<std::size_t>(
+          plan->values_[static_cast<std::size_t>(op.in0)].sample_numel);
+      scratch_i8 = std::max(
+          scratch_i8,
+          2 * align_up_bytes(in_numel) +
+              static_cast<std::size_t>(op.geo.col_cols() * op.q8->cols_padded));
+    } else if (op.kind == PlanBuilder::OpKind::fused_linear_int8_clamp) {
+      // Quantized batch rows, padded to the block width.
+      scratch_i8 = std::max(
+          scratch_i8, static_cast<std::size_t>(max_batch * op.q8->cols_padded));
     }
   }
   plan->scratch_floats_ = scratch;
+  plan->scratch_i8_bytes_ = scratch_i8;
+  if (scratch_i8 > 0) {
+    plan->scratch_i8_ = std::make_unique<std::int8_t[]>(scratch_i8);
+  }
 
   plan->plan_arena();
   return plan;
@@ -389,6 +511,44 @@ void InferencePlan::fuse_ops() {
     Op& op = ops_[i];
     const bool fusable_producer = op.kind == PlanBuilder::OpKind::conv2d ||
                                   op.kind == PlanBuilder::OpKind::linear;
+    // conv -> eval-BatchNorm -> activation triple (the ResNet block shape):
+    // fold structurally into one fused conv op carrying the BN tensors.
+    // Execute replays the exact eager kernel sequence (conv+bias, BN in
+    // place, clamp pass), so bit-identity and live BN-parameter fault
+    // visibility both survive — which is why the fold is structural rather
+    // than algebraic (pre-scaling weights by gamma/sigma would bake BN
+    // faults out of the served model). Both intermediates go dead.
+    if (op.kind == PlanBuilder::OpKind::conv2d && i + 2 < ops_.size()) {
+      const Op& bn = ops_[i + 1];
+      const Op& act = ops_[i + 2];
+      const Value& mid1 = values_[static_cast<std::size_t>(op.out)];
+      const Value& mid2 = values_[static_cast<std::size_t>(bn.out)];
+      if (bn.kind == PlanBuilder::OpKind::batch_norm2d && bn.in0 == op.out &&
+          act.kind == PlanBuilder::OpKind::activation && act.in0 == bn.out &&
+          mid1.last_use == static_cast<std::int32_t>(i) + 1 &&
+          mid2.last_use == static_cast<std::int32_t>(i) + 2 &&
+          root(output_) != op.out && root(output_) != bn.out) {
+        Op f = std::move(op);
+        f.kind = PlanBuilder::OpKind::fused_conv2d_clamp;
+        f.gamma = bn.gamma;
+        f.beta = bn.beta;
+        f.running_mean = bn.running_mean;
+        f.running_var = bn.running_var;
+        f.eps = bn.eps;
+        f.site = act.site;
+        f.fb = act.fb;
+        if (!bn.label.empty()) f.label += " + " + bn.label;
+        if (!act.label.empty()) f.label += " + " + act.label;
+        values_[static_cast<std::size_t>(f.out)].dead = true;
+        values_[static_cast<std::size_t>(bn.out)].dead = true;
+        f.out = act.out;
+        fused.push_back(std::move(f));
+        ++fused_ops_;
+        ++bn_folded_;
+        i += 2;  // the bn and activation ops are consumed by the fused op
+        continue;
+      }
+    }
     if (fusable_producer && i + 1 < ops_.size()) {
       const Op& next = ops_[i + 1];
       const Value& mid = values_[static_cast<std::size_t>(op.out)];
@@ -414,6 +574,119 @@ void InferencePlan::fuse_ops() {
     fused.push_back(std::move(op));
   }
   ops_ = std::move(fused);
+}
+
+void InferencePlan::quantize_ops(float input_range) {
+  // Forward range propagation: range[v] > 0 when every element of value v
+  // is statically known to lie in [-range, range]. The plan input's range
+  // comes from calibration (compile's input_range); a clampable bounded
+  // activation emits [0, max(bound)] by construction — FitAct's bounds are
+  // what make static activation scales possible at all. Anything a GEMM or
+  // BatchNorm produces is unbounded until the next clamp. A fused clamp op
+  // with known input AND output range converts to int8: weights quantize
+  // per output channel now, the input range fixes the activation scale, and
+  // the op's own bounds keep feeding the clamp-event detector through the
+  // fused dequantize epilogue.
+  std::vector<float> range(values_.size(), -1.0f);
+  range[static_cast<std::size_t>(root(0))] =
+      input_range > 0.0f ? input_range : -1.0f;
+  const auto rng = [&](PlanValueId v) {
+    return range[static_cast<std::size_t>(root(v))];
+  };
+  const auto set = [&](PlanValueId v, float r) {
+    range[static_cast<std::size_t>(root(v))] = r;
+  };
+  // Sign propagation alongside the ranges: nonneg[v] when every element of
+  // value v is statically >= 0. Clamp outputs are nonnegative by the clip
+  // cascade (even in detect-only mode an over-bound element becomes 0, not
+  // its raw value), and pooling/add preserve the sign. An int8 op whose
+  // input is proven nonnegative quantizes it into [0,127], which lets
+  // execute use the u8xs8 GEMM at twice the vector MAC density.
+  std::vector<char> nonneg(values_.size(), 0);
+  const auto is_nonneg = [&](PlanValueId v) {
+    return nonneg[static_cast<std::size_t>(root(v))] != 0;
+  };
+  const auto set_nonneg = [&](PlanValueId v, bool nn) {
+    nonneg[static_cast<std::size_t>(root(v))] = nn ? 1 : 0;
+  };
+  for (auto& op : ops_) {
+    switch (op.kind) {
+      case PlanBuilder::OpKind::conv2d:
+      case PlanBuilder::OpKind::linear:
+      case PlanBuilder::OpKind::batch_norm2d:
+        set(op.out, -1.0f);
+        set_nonneg(op.out, false);
+        break;
+      case PlanBuilder::OpKind::max_pool2d:
+      case PlanBuilder::OpKind::global_avg_pool:
+        // Max and mean of bounded values stay within the bound (and keep
+        // their sign).
+        set(op.out, rng(op.in0));
+        set_nonneg(op.out, is_nonneg(op.in0));
+        break;
+      case PlanBuilder::OpKind::add: {
+        const float a = rng(op.in0);
+        const float b = rng(op.in1);
+        set(op.out, a > 0.0f && b > 0.0f ? a + b : -1.0f);
+        set_nonneg(op.out, is_nonneg(op.in0) && is_nonneg(op.in1));
+        break;
+      }
+      case PlanBuilder::OpKind::activation:
+        set(op.out, site_output_range(op.site));
+        set_nonneg(op.out, true);  // clip cascade output is always in [0, b]
+        break;
+      case PlanBuilder::OpKind::fused_conv2d_clamp:
+      case PlanBuilder::OpKind::fused_linear_clamp: {
+        const float out_r = site_output_range(op.site);
+        const float in_r = rng(op.in0);
+        if (in_r > 0.0f && out_r > 0.0f) {
+          const bool is_conv =
+              op.kind == PlanBuilder::OpKind::fused_conv2d_clamp;
+          const std::int64_t rows = is_conv ? op.out_c : op.out_f;
+          const std::int64_t cols = is_conv ? op.geo.col_rows() : op.in_f;
+          const float* wsrc = op.weight.data();
+          std::vector<float> wperm;
+          if (is_conv) {
+            // Permute each filter's k-axis from the tensor's [c][kh][kw] to
+            // the [kh][kw][c] order im2row_i8 gathers (see its comment).
+            // Per-channel max-abs is permutation-invariant, so every scale
+            // comes out bit-identical to the unpermuted packing.
+            const std::int64_t ck = op.geo.in_channels;
+            const std::int64_t kh_n = op.geo.kernel_h;
+            const std::int64_t kw_n = op.geo.kernel_w;
+            wperm.resize(static_cast<std::size_t>(rows * cols));
+            for (std::int64_t r = 0; r < rows; ++r) {
+              const float* src = wsrc + r * cols;
+              float* dst = wperm.data() + r * cols;
+              for (std::int64_t c = 0; c < ck; ++c) {
+                for (std::int64_t kh = 0; kh < kh_n; ++kh) {
+                  for (std::int64_t kw = 0; kw < kw_n; ++kw) {
+                    dst[(kh * kw_n + kw) * ck + c] =
+                        src[(c * kh_n + kh) * kw_n + kw];
+                  }
+                }
+              }
+            }
+            wsrc = wperm.data();
+          }
+          op.q8 = std::make_shared<quant::Int8Weights>(
+              quant::quantize_weights_i8(wsrc, rows, cols));
+          op.q8->set_act_scale(in_r / 127.0f);
+          op.q8_in_nonneg = is_nonneg(op.in0);
+          op.kind = is_conv ? PlanBuilder::OpKind::fused_conv2d_int8_clamp
+                            : PlanBuilder::OpKind::fused_linear_int8_clamp;
+          ++int8_ops_;
+        }
+        set(op.out, out_r);
+        set_nonneg(op.out, true);  // fused clamp: same cascade as activation
+        break;
+      }
+      case PlanBuilder::OpKind::noop:
+      case PlanBuilder::OpKind::fused_conv2d_int8_clamp:
+      case PlanBuilder::OpKind::fused_linear_int8_clamp:
+        break;  // noop moves nothing; int8 kinds don't exist before this pass
+    }
+  }
 }
 
 void InferencePlan::finalize_liveness() {
@@ -657,11 +930,14 @@ Tensor& InferencePlan::execute(std::int64_t batch) {
                   count};
         }
         std::uint64_t events = 0;
-        if (scheme == core::Scheme::fitrelu) {
-          // FitReLU's sigmoid shaping has no clip-kernel form: run the
-          // producer (bias included) into the fused output slot, then the
-          // FitReLU pass in place — the same two steps in the same order as
-          // the unfused program, minus the separate pre-activation slot.
+        const bool has_bn = op.gamma.defined();
+        if (scheme == core::Scheme::fitrelu || has_bn) {
+          // No single-epilogue form: FitReLU's sigmoid shaping has no
+          // clip-kernel expression, and a folded BatchNorm sits between the
+          // GEMM and the clamp. Run the producer (bias included) into the
+          // fused output slot, then BN in place, then the activation pass —
+          // the same steps in the same order as the unfused program, minus
+          // the separate intermediate slots, so outputs stay bit-identical.
           if (is_conv) {
             for (std::int64_t s = 0; s < batch; ++s) {
               ag::conv2d_forward_sample(op.geo, op.out_c, x + s * in_stride,
@@ -670,10 +946,24 @@ Tensor& InferencePlan::execute(std::int64_t batch) {
           } else {
             ag::linear_forward(batch, op.in_f, op.out_f, x, w, b, scratch, o);
           }
-          const Tensor& bt = site->bounds().value();
-          events = ag::fitrelu_forward(o, bt.data(), bt.numel(), op.fb,
-                                       site->steepness(), o,
-                                       batch * out_stride, count);
+          if (has_bn) {
+            ag::batch_norm2d_eval_forward(
+                batch, op.out_c, out_stride / op.out_c, o, op.gamma.data(),
+                op.beta.data(), op.running_mean.data(), op.running_var.data(),
+                op.eps, o);
+          }
+          if (scheme == core::Scheme::fitrelu) {
+            const Tensor& bt = site->bounds().value();
+            events = ag::fitrelu_forward(o, bt.data(), bt.numel(), op.fb,
+                                         site->steepness(), o,
+                                         batch * out_stride, count);
+          } else {
+            // Covers plain ReLU too: spec is then bound=+inf / zero_above /
+            // no counting, bit-identical to relu_forward.
+            events = ag::clipped_relu_forward(o, spec.bound, spec.bound_numel,
+                                              op.fb, spec.mode, o,
+                                              batch * out_stride, count);
+          }
         } else if (is_conv) {
           for (std::int64_t s = 0; s < batch; ++s) {
             events += ag::conv2d_clamp_forward_sample(
@@ -683,6 +973,142 @@ Tensor& InferencePlan::execute(std::int64_t batch) {
         } else {
           events = ag::linear_clamp_forward(batch, op.in_f, op.out_f, x, w, b,
                                             scratch, o, spec);
+        }
+        if (count) {
+          site->add_clamp_counts(
+              events, static_cast<std::uint64_t>(batch * out_stride));
+        }
+        break;
+      }
+      case PlanBuilder::OpKind::fused_conv2d_int8_clamp:
+      case PlanBuilder::OpKind::fused_linear_int8_clamp: {
+        core::BoundedActivation* site = op.site;
+        if (site->profiling() || site->has_input_corruptor()) {
+          throw std::logic_error(
+              "InferencePlan: activation site '" + op.label +
+              "' entered profiling/corruptor mode after compile; planned "
+              "lanes serve clean inference only");
+        }
+        // The op was quantized under this site's bounds (they fixed the
+        // activation scale); swapping scheme or bounds afterwards would
+        // silently serve stale scales, so demand a recompile instead.
+        const core::Scheme scheme = site->scheme();
+        if (!clampable_scheme(scheme) || !site->has_bounds()) {
+          throw std::logic_error(
+              "InferencePlan: int8 op '" + op.label +
+              "' lost the bounded clamp scheme it was quantized under; "
+              "recompile the plan after re-protection");
+        }
+        const bool is_conv =
+            op.kind == PlanBuilder::OpKind::fused_conv2d_int8_clamp;
+        const std::int64_t in_stride =
+            values_[static_cast<std::size_t>(op.in0)].sample_numel;
+        const std::int64_t out_stride =
+            values_[static_cast<std::size_t>(op.out)].sample_numel;
+        const float* x = ptr(op.in0);
+        float* o = ptr(op.out);
+        const quant::Int8Weights& q8 = *op.q8;
+        const Tensor& bt = site->bounds().value();
+        op.fb.validate_bound(bt.numel());
+        const bool saturate = scheme == core::Scheme::ranger;
+        const bool count = site->clamp_counting();
+        const float* b = op.bias.defined() ? op.bias.data() : nullptr;
+        std::uint64_t events = 0;
+        std::int8_t* const qbuf = scratch_i8_.get();
+        if (is_conv) {
+          // Per sample: quantize the input, gather the padded im2row patch
+          // matrix, int8 GEMM straight into the output slot (int32
+          // accumulators reinterpret the float storage), then the
+          // per-channel dequantize+bias+clamp epilogue in place. A folded
+          // BatchNorm defers the clamp: plain dequantize per plane, BN over
+          // the batch, then the same clamp pass as the fp32 path.
+          const std::int64_t hw = op.geo.out_h() * op.geo.out_w();
+          const std::int64_t ckk_pad = q8.cols_padded;
+          std::int8_t* const qin = qbuf;
+          std::int8_t* const qhwc =
+              qbuf + align_up_bytes(static_cast<std::size_t>(in_stride));
+          std::int8_t* const qcol =
+              qbuf + 2 * align_up_bytes(static_cast<std::size_t>(in_stride));
+          const bool has_bn = op.gamma.defined();
+          for (std::int64_t s = 0; s < batch; ++s) {
+            kern::quantize_i8(x + s * in_stride, q8.inv_act_scale, qin,
+                              in_stride);
+            chw_to_hwc_i8(qin, qhwc, op.geo.in_channels,
+                          op.geo.in_h * op.geo.in_w);
+            im2row_i8(op.geo, qhwc, qcol, ckk_pad);
+            auto* acc = reinterpret_cast<std::int32_t*>(o + s * out_stride);
+            if (op.q8_in_nonneg) {
+              // Proven-nonneg input: patch bytes are in [0,127], so the
+              // u8xs8 kernel applies (patches are the B operand here).
+              kern::gemm_i8u8_dot(op.out_c, hw, ckk_pad, q8.q.data(), ckk_pad,
+                                  qcol, ckk_pad, acc, hw,
+                                  /*a_unsigned=*/false);
+            } else {
+              kern::gemm_i8_dot(op.out_c, hw, ckk_pad, q8.q.data(), ckk_pad,
+                                qcol, ckk_pad, acc, hw);
+            }
+            for (std::int64_t c = 0; c < op.out_c; ++c) {
+              const float scale = q8.combined[static_cast<std::size_t>(c)];
+              const float bc = b != nullptr ? b[c] : 0.0f;
+              std::int32_t* plane = acc + c * hw;
+              if (has_bn) {
+                kern::dequant_i32(plane, scale, bc, hw);
+              } else if (bt.numel() == 1) {
+                events += kern::fused_dequant_clip_cc(
+                    plane, scale, bc, bt.data()[0], saturate, hw, count);
+              } else if (bt.numel() == op.out_c) {
+                events += kern::fused_dequant_clip_cc(
+                    plane, scale, bc, bt.data()[c], saturate, hw, count);
+              } else {
+                events += kern::fused_dequant_clip_cr(plane, scale, bc,
+                                                      bt.data() + c * hw,
+                                                      saturate, hw, count);
+              }
+            }
+          }
+          if (has_bn) {
+            ag::batch_norm2d_eval_forward(
+                batch, op.out_c, hw, o, op.gamma.data(), op.beta.data(),
+                op.running_mean.data(), op.running_var.data(), op.eps, o);
+            events = ag::clipped_relu_forward(
+                o, bt.data(), bt.numel(), op.fb,
+                saturate ? ag::ClipMode::saturate : ag::ClipMode::zero_above,
+                o, batch * out_stride, count);
+          }
+        } else {
+          // Quantize the batch rows (zero-padding each row's block tail),
+          // one GEMM for the whole batch, then the per-row epilogue with
+          // per-channel combined scales.
+          const std::int64_t in_f_pad = q8.cols_padded;
+          for (std::int64_t s = 0; s < batch; ++s) {
+            kern::quantize_i8(x + s * in_stride, q8.inv_act_scale,
+                              qbuf + s * in_f_pad, in_stride);
+            std::memset(qbuf + s * in_f_pad + in_stride, 0,
+                        static_cast<std::size_t>(in_f_pad - in_stride));
+          }
+          auto* acc = reinterpret_cast<std::int32_t*>(o);
+          if (op.q8_in_nonneg) {
+            // Proven-nonneg input: the quantized batch rows (the A operand
+            // here) are in [0,127], so the u8xs8 kernel applies.
+            kern::gemm_i8u8_dot(batch, op.out_f, in_f_pad, qbuf, in_f_pad,
+                                q8.q.data(), in_f_pad, acc, op.out_f,
+                                /*a_unsigned=*/true);
+          } else {
+            kern::gemm_i8_dot(batch, op.out_f, in_f_pad, qbuf, in_f_pad,
+                              q8.q.data(), in_f_pad, acc, op.out_f);
+          }
+          for (std::int64_t s = 0; s < batch; ++s) {
+            std::int32_t* row = acc + s * op.out_f;
+            if (bt.numel() == 1) {
+              events += kern::fused_dequant_clip_rc(row, q8.combined.data(),
+                                                    b, bt.data()[0], saturate,
+                                                    op.out_f, count);
+            } else {
+              events += kern::fused_dequant_clip_rr(row, q8.combined.data(),
+                                                    b, bt.data(), saturate,
+                                                    op.out_f, count);
+            }
+          }
         }
         if (count) {
           site->add_clamp_counts(
@@ -773,14 +1199,35 @@ Tensor& InferencePlan::execute(std::int64_t batch) {
   return output_views_[static_cast<std::size_t>(batch - 1)];
 }
 
+void InferencePlan::restore_int8_weights() {
+  for (auto& op : ops_) {
+    if (op.q8) op.q8->restore();
+  }
+}
+
+std::pair<std::int8_t*, std::size_t> InferencePlan::int8_weight_span(
+    std::size_t index) {
+  std::size_t seen = 0;
+  for (auto& op : ops_) {
+    if (!op.q8) continue;
+    if (seen == index) return {op.q8->q.data(), op.q8->q.size()};
+    ++seen;
+  }
+  throw std::out_of_range("InferencePlan: int8 op index " +
+                          std::to_string(index) + " out of range (have " +
+                          std::to_string(seen) + ")");
+}
+
 std::string InferencePlan::summary() const {
   static const char* const kKindNames[] = {
       "conv2d",      "linear", "batch_norm2d", "max_pool2d",
       "global_avg_pool", "activation", "add",  "noop",
-      "fused_conv2d_clamp", "fused_linear_clamp"};
+      "fused_conv2d_clamp", "fused_linear_clamp",
+      "fused_conv2d_int8_clamp", "fused_linear_int8_clamp"};
   std::ostringstream os;
   os << "InferencePlan: " << ops_.size() << " ops (" << fused_ops_
-     << " fused), " << values_.size() << " values, max_batch " << max_batch_
+     << " fused, " << bn_folded_ << " bn-folded, " << int8_ops_
+     << " int8), " << values_.size() << " values, max_batch " << max_batch_
      << ", arena " << arena_bytes() / 1024 << " KiB (" << buckets_.size()
      << " buckets)\n";
   for (std::size_t i = 0; i < ops_.size(); ++i) {

@@ -49,10 +49,12 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "autograd/op_kernels.h"
 #include "nn/module.h"
+#include "quant/int8.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
 
@@ -61,6 +63,27 @@ class BoundedActivation;
 }
 
 namespace fitact::nn {
+
+/// Arithmetic the plan's fused conv/linear ops execute with.
+///
+/// int8 converts every fused clamp op whose input range is statically known
+/// (see compile()'s input_range and the bound-derived range propagation in
+/// plan.cpp) to block-quantized int8 GEMM with a fused
+/// dequantize+bias+clamp epilogue. Ops that don't qualify (unbounded
+/// schemes, unknown ranges, FitReLU's sigmoid shaping) stay fp32, so a plan
+/// is int8 *where the bounds allow* — compile throws PlanError when nothing
+/// qualifies rather than silently serving fp32 under an int8 label.
+///
+/// Fault model of an int8 op: its live quantized bytes (Int8Weights::q) are
+/// the deployed weight storage — fp32 weight faults injected through
+/// ParamImage after compile are not visible to it (the fp32 tensor is no
+/// longer read), while bias / BatchNorm / bound tensors stay fp32-live and
+/// fault-visible exactly as before. restore_int8_weights() is the matching
+/// scrub.
+enum class Precision : std::uint8_t {
+  fp32 = 0,
+  int8 = 1,
+};
 
 /// Recording failed: the model cannot run under planned execution (the
 /// message names the offending module path). Callers fall back to eager
@@ -130,9 +153,15 @@ class PlanBuilder {
     add,
     noop,
     // Fusion-pass products: a conv2d/linear whose bias + bound-clamp run as
-    // an epilogue on the GEMM output (never recorded directly).
+    // an epilogue on the GEMM output (never recorded directly). A fused
+    // conv may additionally carry a folded eval-mode BatchNorm (gamma
+    // defined): conv -> bn -> clamp replayed as one op.
     fused_conv2d_clamp,
     fused_linear_clamp,
+    // Quantization-pass products (Precision::int8): int8 GEMM over
+    // block-quantized weights with a dequantize+bias+clamp epilogue.
+    fused_conv2d_int8_clamp,
+    fused_linear_int8_clamp,
   };
 
   struct Value {
@@ -167,6 +196,13 @@ class PlanBuilder {
     // activation
     core::BoundedActivation* site = nullptr;
     ag::FeatureBroadcast fb{};
+    // int8 ops: block-quantized weights + scales (quantization pass product)
+    std::shared_ptr<quant::Int8Weights> q8;
+    // int8 ops: the quantization pass proved this op's input nonnegative
+    // (it flows from a clamp output through only sign-preserving ops), so
+    // its quantized activation bytes are all in [0,127] and execute may use
+    // the u8xs8 GEMM (kern::gemm_i8u8_dot) instead of the signed one.
+    bool q8_in_nonneg = false;
   };
 
   explicit PlanBuilder(Shape sample_shape);
@@ -194,10 +230,18 @@ class InferencePlan {
   /// be recorded (message names the module), std::invalid_argument for bad
   /// arguments. The plan keeps `model` alive (ops point into its parameter
   /// storage).
-  static std::shared_ptr<InferencePlan> compile(std::shared_ptr<Module> model,
-                                                const Shape& sample_shape,
-                                                std::int64_t max_batch,
-                                                bool fuse = true);
+  ///
+  /// Precision::int8 additionally runs the quantization pass: fused clamp
+  /// ops whose input activation range is statically known convert to int8
+  /// GEMM ops (see Precision). `input_range` is the max-abs of the plan
+  /// *input* (callers calibrate it over sample data; <= 0 means unknown, so
+  /// the first layer stays fp32); ranges of deeper layers come from the
+  /// clamp bounds themselves. Requires fuse=true; throws PlanError when no
+  /// op qualifies.
+  static std::shared_ptr<InferencePlan> compile(
+      std::shared_ptr<Module> model, const Shape& sample_shape,
+      std::int64_t max_batch, bool fuse = true,
+      Precision precision = Precision::fp32, float input_range = -1.0f);
 
   InferencePlan(const InferencePlan&) = delete;
   InferencePlan& operator=(const InferencePlan&) = delete;
@@ -217,10 +261,30 @@ class InferencePlan {
   [[nodiscard]] const Shape& sample_shape() const;
   [[nodiscard]] std::size_t op_count() const noexcept { return ops_.size(); }
   /// Number of conv/linear+clamp pairs the fusion pass merged (0 when
-  /// compiled with fuse=false or when no pair qualified).
+  /// compiled with fuse=false or when no pair qualified). BN-folded triples
+  /// count once here too.
   [[nodiscard]] std::size_t fused_op_count() const noexcept {
     return fused_ops_;
   }
+  /// Number of conv -> batch_norm -> activation triples the fusion pass
+  /// folded (each removes *two* ops from the program, unlike a pair's one).
+  [[nodiscard]] std::size_t bn_folded_op_count() const noexcept {
+    return bn_folded_;
+  }
+  /// Number of fused ops the quantization pass converted to int8.
+  [[nodiscard]] std::size_t int8_op_count() const noexcept {
+    return int8_ops_;
+  }
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
+  /// Scrub every int8 op's live quantized weights back to the clean image
+  /// captured at compile time (the int8 analogue of ParamImage::restore;
+  /// no-op on fp32 plans). The serving recovery path calls both.
+  void restore_int8_weights();
+  /// Live quantized weight bytes of int8 op `index` (0-based, program
+  /// order) — the int8 fault space, exposed so tests and benches can inject
+  /// corruption. Throws std::out_of_range past int8_op_count().
+  [[nodiscard]] std::pair<std::int8_t*, std::size_t> int8_weight_span(
+      std::size_t index);
   [[nodiscard]] std::size_t arena_bytes() const noexcept {
     return arena_floats_ * sizeof(float);
   }
@@ -240,6 +304,7 @@ class InferencePlan {
   InferencePlan() = default;
 
   void fuse_ops();
+  void quantize_ops(float input_range);
   void finalize_liveness();
   void plan_arena();
   [[nodiscard]] const Bucket& bucket_for(std::int64_t batch) const;
@@ -250,8 +315,13 @@ class InferencePlan {
   std::vector<Op> ops_;
   PlanValueId output_ = -1;
   std::size_t fused_ops_ = 0;
+  std::size_t bn_folded_ = 0;
+  std::size_t int8_ops_ = 0;
+  Precision precision_ = Precision::fp32;
   std::int64_t max_batch_ = 0;
   std::size_t scratch_floats_ = 0;
+  std::size_t scratch_i8_bytes_ = 0;
+  std::unique_ptr<std::int8_t[]> scratch_i8_;
   std::vector<Bucket> buckets_;
   std::vector<std::size_t> bucket_of_batch_;  ///< batch-1 -> bucket index
   std::size_t arena_floats_ = 0;

@@ -1,0 +1,50 @@
+#include "quant/int8.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fitact::quant {
+
+void Int8Weights::set_act_scale(float s) {
+  act_scale = s;
+  inv_act_scale = s > 0.0f ? 1.0f / s : 0.0f;
+  combined.assign(scales.size(), 0.0f);
+  for (std::size_t r = 0; r < scales.size(); ++r) {
+    combined[r] = scales[r] * act_scale;
+  }
+}
+
+void Int8Weights::restore() {
+  std::copy(clean_q.begin(), clean_q.end(), q.begin());
+}
+
+Int8Weights quantize_weights_i8(const float* w, std::int64_t rows,
+                                std::int64_t cols) {
+  Int8Weights out;
+  out.rows = rows;
+  out.cols = cols;
+  out.cols_padded = q8_padded(cols);
+  out.q.assign(static_cast<std::size_t>(rows * out.cols_padded), 0);
+  out.scales.assign(static_cast<std::size_t>(rows), 0.0f);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = w + r * cols;
+    float amax = 0.0f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      amax = std::max(amax, std::fabs(row[c]));
+    }
+    if (!(amax > 0.0f)) continue;  // zero (or non-finite-free empty) row
+    const float scale = amax / 127.0f;
+    const float inv = 127.0f / amax;
+    out.scales[static_cast<std::size_t>(r)] = scale;
+    std::int8_t* qrow = out.q.data() + r * out.cols_padded;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      float v = row[c] * inv;
+      v = std::min(127.0f, std::max(-127.0f, v));
+      qrow[c] = static_cast<std::int8_t>(std::lrintf(v));
+    }
+  }
+  out.clean_q = out.q;
+  return out;
+}
+
+}  // namespace fitact::quant

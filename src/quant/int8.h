@@ -1,0 +1,72 @@
+// Symmetric int8 block quantization for the planned serving path.
+//
+// Weights are quantized per output channel (one scale per conv output
+// channel / linear output feature): q = round(w / scale) clamped to
+// [-127, 127], scale = amax(row) / 127. Rows are padded to kQ8Block columns
+// with zero bytes — zero products are exact, so padding never changes an
+// accumulator — which lets the int8 GEMM microkernels
+// (tensor/kernels) run whole 32-wide blocks without edge handling in the
+// hot loop. The block layout follows the ggml q8 family: contiguous
+// fixed-width rows of int8 payload with float scales kept out-of-band.
+//
+// Activations quantize symmetrically too, with a *static* scale derived
+// from the FitAct clamp bound of the producing activation site: a bounded
+// activation's output lives in [0, max(bound)], so act_scale =
+// max(bound) / 127 covers the whole range with no runtime calibration —
+// the resilience machinery and the quantized fast path share one source of
+// truth. nn::InferencePlan derives the scales at compile time
+// (precision = Precision::int8) and owns the per-op Int8Weights blocks.
+//
+// Fault model: the live `q` bytes are the deployed weight storage of an
+// int8 op — the int8 analogue of the Q1.15.16 ParamImage fault space —
+// and `clean_q` is the pristine image a scrub restores
+// (InferencePlan::restore_int8_weights, wired into the server's
+// scrub-and-recover path). Scales and the derived combined factors are
+// compile-time metadata, not fault space.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fitact::quant {
+
+/// Quantized rows are padded to this many columns (the int8 GEMM kernels'
+/// block width; see kernels.h gemm_i8_dot).
+inline constexpr std::int64_t kQ8Block = 32;
+
+[[nodiscard]] inline constexpr std::int64_t q8_padded(std::int64_t n) noexcept {
+  return (n + kQ8Block - 1) / kQ8Block * kQ8Block;
+}
+
+/// One conv/linear weight matrix in block-quantized form: `rows` output
+/// channels by `cols` reduction elements, stored as int8 rows of
+/// `cols_padded` bytes (zero tail). See the file comment for the scheme.
+struct Int8Weights {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::int64_t cols_padded = 0;
+  std::vector<std::int8_t> q;        ///< live bytes [rows, cols_padded]
+  std::vector<std::int8_t> clean_q;  ///< pristine image for scrubs
+  std::vector<float> scales;         ///< per-row weight scale
+  /// Per-row dequantization factor scales[r] * act_scale: one multiply
+  /// turns an int32 accumulator back into the fp32 pre-activation value.
+  std::vector<float> combined;
+  float act_scale = 0.0f;      ///< input activation scale (range / 127)
+  float inv_act_scale = 0.0f;  ///< 1 / act_scale (0 when act_scale is 0)
+
+  /// Bind the input activation scale and precompute the combined per-row
+  /// dequantization factors.
+  void set_act_scale(float s);
+
+  /// Scrub: copy the clean image back over the live bytes (no realloc).
+  void restore();
+};
+
+/// Quantize a row-major [rows, cols] fp32 weight matrix (conv weights are
+/// [out_c, in_c*kh*kw] after flattening, linear weights [out_f, in_f]).
+/// A zero row gets scale 0 and all-zero bytes.
+[[nodiscard]] Int8Weights quantize_weights_i8(const float* w,
+                                              std::int64_t rows,
+                                              std::int64_t cols);
+
+}  // namespace fitact::quant

@@ -32,6 +32,12 @@ void ServerOptions::validate() const {
     throw std::invalid_argument(
         "ServerOptions: max_recoveries_per_batch must be non-negative");
   }
+  if (precision == nn::Precision::int8 && (!plan || !fuse)) {
+    throw std::invalid_argument(
+        "ServerOptions: precision=int8 requires plan=true and fuse=true "
+        "(quantization converts fused plan ops; there is no eager int8 "
+        "path)");
+  }
 }
 
 InferenceServer::InferenceServer(const LaneFactory& factory,
@@ -169,6 +175,17 @@ void InferenceServer::with_lane(
   fn(*state.lane.model, *state.lane.image);
 }
 
+void InferenceServer::with_lane(std::size_t index,
+                                const std::function<void(Lane&)>& fn) {
+  if (index >= lanes_.size()) {
+    throw std::out_of_range("InferenceServer::with_lane: no lane " +
+                            std::to_string(index));
+  }
+  LaneState& state = *lanes_[index];
+  const ut::LockGuard lock(state.mutex);
+  fn(state.lane);
+}
+
 void InferenceServer::lane_loop(std::size_t index) {
   for (;;) {
     std::vector<Request> batch;
@@ -289,8 +306,11 @@ void InferenceServer::process_batch(std::size_t index,
       for (int attempt = 0; attempt < options_.max_recoveries_per_batch;
            ++attempt) {
         // Memory scrubbing: write the clean image back over the (presumed
-        // faulty) live parameters, then re-run the batch on clean state.
+        // faulty) live parameters, then re-run the batch on clean state. An
+        // int8 plan's quantized weight bytes are deployed storage of their
+        // own (fp32 scrubs don't reach them), so they get their own scrub.
         state.lane.image->restore();
+        if (state.lane.plan) state.lane.plan->restore_int8_weights();
         ++recoveries;
         recovered = true;
         fwd = forward_once();

@@ -95,6 +95,14 @@ struct ServerOptions {
   /// switch; it is the A/B lever serve_throughput's fuse_speedup row uses.
   /// Ignored when `plan` is off.
   bool fuse = true;
+  /// Arithmetic the lane plans execute with (nn::Precision). int8 serves
+  /// block-quantized weights through int8 GEMM with fused dequantize+clamp
+  /// epilogues — quantized at make_server time from the FitAct clamp bounds
+  /// (they fix the activation scales; see nn::Precision for the fault
+  /// model). Requires `plan` and `fuse`: quantization is a pass over fused
+  /// plan ops, and int8 never falls back to eager (ev::make_server
+  /// propagates compile failures instead of silently serving fp32).
+  nn::Precision precision = nn::Precision::fp32;
   /// Force the portable scalar kernel backend for the whole process
   /// (kern::force_backend; see tensor/kernels/kernels.h). Kernel dispatch
   /// is process-wide — per-lane or per-request backends would break the
@@ -194,6 +202,11 @@ class InferenceServer {
   /// finishes its current batch.
   void with_lane(std::size_t index,
                  const std::function<void(nn::Module&, quant::ParamImage&)>& fn);
+
+  /// Overload handing out the whole Lane — int8 fault campaigns need the
+  /// lane's plan (nn::InferencePlan::int8_weight_span is the quantized
+  /// fault space), which the model/image form cannot reach.
+  void with_lane(std::size_t index, const std::function<void(Lane&)>& fn);
 
  private:
   struct Request {

@@ -29,9 +29,36 @@ bool cpu_has_avx2_fma() noexcept {
 #endif
 }
 
+bool cpu_has_avx512_vnni() noexcept {
+#if defined(FITACT_HAVE_AVX512VNNI_KERNELS) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl") &&
+         __builtin_cpu_supports("avx512vnni");
+#else
+  return false;
+#endif
+}
+
 const KernelTable* table_for(Backend b) noexcept {
 #if defined(FITACT_HAVE_AVX2_KERNELS)
-  if (b == Backend::avx2) return &avx2_table();
+  if (b == Backend::avx2) {
+#if defined(FITACT_HAVE_AVX512VNNI_KERNELS)
+    // The VNNI GEMM is an in-tier upgrade, not a backend: same public
+    // Backend::avx2, same table except the one slot, bit-identical results.
+    if (cpu_has_avx512_vnni()) {
+      static const KernelTable vnni_table = [] {
+        KernelTable t = avx2_table();
+        t.gemm_i8_dot = avx2_vnni_gemm_i8_dot;
+        t.gemm_i8u8_dot = avx2_vnni_gemm_i8u8_dot;
+        return t;
+      }();
+      return &vnni_table;
+    }
+#endif
+    return &avx2_table();
+  }
 #else
   (void)b;
 #endif
@@ -82,6 +109,54 @@ const KernelTable& active_table() noexcept {
 }  // namespace
 
 bool avx2_supported() noexcept { return cpu_has_avx2_fma(); }
+
+std::size_t gemm_i8_variants(const GemmI8Variant** out) noexcept {
+  static const GemmI8Variant variants[] = {
+      {"scalar", scalar_gemm_i8_dot},
+#if defined(FITACT_HAVE_AVX2_KERNELS)
+      {"avx2", avx2_gemm_i8_dot},
+#endif
+#if defined(FITACT_HAVE_AVX512VNNI_KERNELS)
+      {"avx2_vnni", avx2_vnni_gemm_i8_dot},
+#endif
+  };
+  std::size_t n = 1;  // scalar always runs
+  if (cpu_has_avx2_fma()) ++n;
+  if (cpu_has_avx512_vnni()) ++n;
+  // The array is ordered by capability, so the executable prefix is exactly
+  // the first n entries (a VNNI host necessarily executes AVX2).
+  *out = variants;
+  return n;
+}
+
+std::size_t gemm_i8u8_variants(const GemmI8U8Variant** out) noexcept {
+  static const GemmI8U8Variant variants[] = {
+      {"scalar", scalar_gemm_i8u8_dot},
+#if defined(FITACT_HAVE_AVX2_KERNELS)
+      {"avx2", avx2_gemm_i8u8_dot},
+#endif
+#if defined(FITACT_HAVE_AVX512VNNI_KERNELS)
+      {"avx2_vnni", avx2_vnni_gemm_i8u8_dot},
+#endif
+  };
+  std::size_t n = 1;  // scalar always runs
+  if (cpu_has_avx2_fma()) ++n;
+  if (cpu_has_avx512_vnni()) ++n;
+  // Same capability ordering as gemm_i8_variants: the executable prefix is
+  // exactly the first n entries.
+  *out = variants;
+  return n;
+}
+
+const char* gemm_i8_variant() noexcept {
+  const GemmI8Fn fn = active_table().gemm_i8_dot;
+  const GemmI8Variant* variants = nullptr;
+  const std::size_t n = gemm_i8_variants(&variants);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (variants[i].fn == fn) return variants[i].name;
+  }
+  return "unknown";
+}
 
 Backend active_backend() noexcept {
   (void)active_table();  // resolve the env override on first call
@@ -159,6 +234,59 @@ std::uint64_t fused_bias_clip_rr(float* o, const float* bias,
                                  const float* bound, bool saturate,
                                  std::int64_t n, bool count) noexcept {
   return active_table().fused_bias_clip_rr(o, bias, bound, saturate, n, count);
+}
+
+void gemm_i8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+                 std::int64_t ldb, std::int32_t* c, std::int64_t ldc) noexcept {
+  active_table().gemm_i8_dot(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_i8u8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::int8_t* a, std::int64_t lda,
+                   const std::int8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc, bool a_unsigned) noexcept {
+  active_table().gemm_i8u8_dot(m, n, k, a, lda, b, ldb, c, ldc, a_unsigned);
+}
+
+void quantize_i8(const float* x, float inv_scale, std::int8_t* q,
+                 std::int64_t n) noexcept {
+  active_table().quantize_i8(x, inv_scale, q, n);
+}
+
+void dequant_i32(std::int32_t* acc, float scale, float bias,
+                 std::int64_t n) noexcept {
+  active_table().dequant_i32(acc, scale, bias, n);
+}
+
+std::uint64_t fused_dequant_clip_cc(std::int32_t* acc, float scale, float bias,
+                                    float bound, bool saturate, std::int64_t n,
+                                    bool count) noexcept {
+  return active_table().fused_dequant_clip_cc(acc, scale, bias, bound, saturate,
+                                              n, count);
+}
+
+std::uint64_t fused_dequant_clip_cr(std::int32_t* acc, float scale, float bias,
+                                    const float* bound, bool saturate,
+                                    std::int64_t n, bool count) noexcept {
+  return active_table().fused_dequant_clip_cr(acc, scale, bias, bound, saturate,
+                                              n, count);
+}
+
+std::uint64_t fused_dequant_clip_rc(std::int32_t* acc, const float* scale,
+                                    const float* bias, float bound,
+                                    bool saturate, std::int64_t n,
+                                    bool count) noexcept {
+  return active_table().fused_dequant_clip_rc(acc, scale, bias, bound, saturate,
+                                              n, count);
+}
+
+std::uint64_t fused_dequant_clip_rr(std::int32_t* acc, const float* scale,
+                                    const float* bias, const float* bound,
+                                    bool saturate, std::int64_t n,
+                                    bool count) noexcept {
+  return active_table().fused_dequant_clip_rr(acc, scale, bias, bound, saturate,
+                                              n, count);
 }
 
 }  // namespace fitact::kern

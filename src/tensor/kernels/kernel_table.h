@@ -39,12 +39,134 @@ struct KernelTable {
   std::uint64_t (*fused_bias_clip_rr)(float* o, const float* bias,
                                       const float* bound, bool saturate,
                                       std::int64_t n, bool count) noexcept;
+  // Int8 quantized path (kernels_scalar_i8.cpp / kernels_avx2_i8.cpp). The
+  // GEMM accumulates exactly in int32, so backends are bit-identical; the
+  // dequantize epilogues avoid FMA so the whole int8 path stays bit-identical
+  // across backends too. Contracts in kernels.h.
+  void (*gemm_i8_dot)(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const std::int8_t* a, std::int64_t lda,
+                      const std::int8_t* b, std::int64_t ldb, std::int32_t* c,
+                      std::int64_t ldc) noexcept;
+  // Same contract as gemm_i8_dot plus the caller's guarantee that every byte
+  // of one operand (a when a_unsigned, else b) is in [0,127] — FitAct's
+  // clamp epilogue makes post-activation values nonnegative, so their
+  // quantization always lands there. The guarantee unlocks u8xs8
+  // instructions (maddubs / vpdpbusd) whose int16 pair sums cannot saturate
+  // when |u| <= 127; results stay bit-identical to gemm_i8_dot on the same
+  // bytes.
+  void (*gemm_i8u8_dot)(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const std::int8_t* a, std::int64_t lda,
+                        const std::int8_t* b, std::int64_t ldb,
+                        std::int32_t* c, std::int64_t ldc,
+                        bool a_unsigned) noexcept;
+  void (*quantize_i8)(const float* x, float inv_scale, std::int8_t* q,
+                      std::int64_t n) noexcept;
+  void (*dequant_i32)(std::int32_t* acc, float scale, float bias,
+                      std::int64_t n) noexcept;
+  std::uint64_t (*fused_dequant_clip_cc)(std::int32_t* acc, float scale,
+                                         float bias, float bound, bool saturate,
+                                         std::int64_t n, bool count) noexcept;
+  std::uint64_t (*fused_dequant_clip_cr)(std::int32_t* acc, float scale,
+                                         float bias, const float* bound,
+                                         bool saturate, std::int64_t n,
+                                         bool count) noexcept;
+  std::uint64_t (*fused_dequant_clip_rc)(std::int32_t* acc, const float* scale,
+                                         const float* bias, float bound,
+                                         bool saturate, std::int64_t n,
+                                         bool count) noexcept;
+  std::uint64_t (*fused_dequant_clip_rr)(std::int32_t* acc, const float* scale,
+                                         const float* bias, const float* bound,
+                                         bool saturate, std::int64_t n,
+                                         bool count) noexcept;
 };
+
+// Int8 backend implementations live in their own translation units
+// (kernels_scalar_i8.cpp, kernels_avx2_i8.cpp) and are referenced cross-TU
+// by the table initialisers in kernels_scalar.cpp / kernels_avx2.cpp, so —
+// unlike the fp32 kernels — they need external linkage and declarations here.
+void scalar_gemm_i8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const std::int8_t* a, std::int64_t lda,
+                        const std::int8_t* b, std::int64_t ldb, std::int32_t* c,
+                        std::int64_t ldc) noexcept;
+void scalar_gemm_i8u8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                          const std::int8_t* a, std::int64_t lda,
+                          const std::int8_t* b, std::int64_t ldb,
+                          std::int32_t* c, std::int64_t ldc,
+                          bool a_unsigned) noexcept;
+void scalar_quantize_i8(const float* x, float inv_scale, std::int8_t* q,
+                        std::int64_t n) noexcept;
+void scalar_dequant_i32(std::int32_t* acc, float scale, float bias,
+                        std::int64_t n) noexcept;
+std::uint64_t scalar_fused_dequant_clip_cc(std::int32_t* acc, float scale,
+                                           float bias, float bound,
+                                           bool saturate, std::int64_t n,
+                                           bool count) noexcept;
+std::uint64_t scalar_fused_dequant_clip_cr(std::int32_t* acc, float scale,
+                                           float bias, const float* bound,
+                                           bool saturate, std::int64_t n,
+                                           bool count) noexcept;
+std::uint64_t scalar_fused_dequant_clip_rc(std::int32_t* acc,
+                                           const float* scale,
+                                           const float* bias, float bound,
+                                           bool saturate, std::int64_t n,
+                                           bool count) noexcept;
+std::uint64_t scalar_fused_dequant_clip_rr(std::int32_t* acc,
+                                           const float* scale,
+                                           const float* bias,
+                                           const float* bound, bool saturate,
+                                           std::int64_t n,
+                                           bool count) noexcept;
+
+#if defined(FITACT_HAVE_AVX2_KERNELS)
+void avx2_gemm_i8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                      const std::int8_t* a, std::int64_t lda,
+                      const std::int8_t* b, std::int64_t ldb, std::int32_t* c,
+                      std::int64_t ldc) noexcept;
+void avx2_gemm_i8u8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                        const std::int8_t* a, std::int64_t lda,
+                        const std::int8_t* b, std::int64_t ldb, std::int32_t* c,
+                        std::int64_t ldc, bool a_unsigned) noexcept;
+void avx2_quantize_i8(const float* x, float inv_scale, std::int8_t* q,
+                      std::int64_t n) noexcept;
+void avx2_dequant_i32(std::int32_t* acc, float scale, float bias,
+                      std::int64_t n) noexcept;
+std::uint64_t avx2_fused_dequant_clip_cc(std::int32_t* acc, float scale,
+                                         float bias, float bound, bool saturate,
+                                         std::int64_t n, bool count) noexcept;
+std::uint64_t avx2_fused_dequant_clip_cr(std::int32_t* acc, float scale,
+                                         float bias, const float* bound,
+                                         bool saturate, std::int64_t n,
+                                         bool count) noexcept;
+std::uint64_t avx2_fused_dequant_clip_rc(std::int32_t* acc, const float* scale,
+                                         const float* bias, float bound,
+                                         bool saturate, std::int64_t n,
+                                         bool count) noexcept;
+std::uint64_t avx2_fused_dequant_clip_rr(std::int32_t* acc, const float* scale,
+                                         const float* bias, const float* bound,
+                                         bool saturate, std::int64_t n,
+                                         bool count) noexcept;
+#endif
 
 /// The portable reference backend (kernels_scalar.cpp). Always available;
 /// also the semantics every vector backend must reproduce (bit-exactly for
 /// the elementwise kernels, to forward-error bounds for gemm_panel).
 [[nodiscard]] const KernelTable& scalar_table() noexcept;
+
+// AVX-512 VNNI int8 GEMM (kernels_avx2_vnni_i8.cpp). Not a backend of its
+// own: when the host also executes AVX-512 F/BW/VL/VNNI, dispatch.cpp serves
+// the avx2 tier a table whose gemm_i8_dot points here instead. Bit-identical
+// to the scalar GEMM like every int8 kernel (exact int32 accumulation).
+#if defined(FITACT_HAVE_AVX512VNNI_KERNELS)
+void avx2_vnni_gemm_i8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                           const std::int8_t* a, std::int64_t lda,
+                           const std::int8_t* b, std::int64_t ldb,
+                           std::int32_t* c, std::int64_t ldc) noexcept;
+void avx2_vnni_gemm_i8u8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                             const std::int8_t* a, std::int64_t lda,
+                             const std::int8_t* b, std::int64_t ldb,
+                             std::int32_t* c, std::int64_t ldc,
+                             bool a_unsigned) noexcept;
+#endif
 
 // The AVX2/FMA backend (kernels_avx2.cpp). Declared unconditionally;
 // defined only when the build carries the AVX2 translation unit

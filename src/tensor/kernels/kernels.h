@@ -61,6 +61,49 @@ enum class Backend : int {
 /// startup configuration), never while another thread is inside a kernel.
 Backend force_backend(Backend b) noexcept;
 
+/// Signature of an int8 GEMM microkernel (the gemm_i8_dot contract below).
+using GemmI8Fn = void (*)(std::int64_t m, std::int64_t n, std::int64_t k,
+                          const std::int8_t* a, std::int64_t lda,
+                          const std::int8_t* b, std::int64_t ldb,
+                          std::int32_t* c, std::int64_t ldc) noexcept;
+
+/// One int8 GEMM microkernel this binary carries and this host can execute.
+struct GemmI8Variant {
+  const char* name;  ///< "scalar" | "avx2" | "avx2_vnni"
+  GemmI8Fn fn;
+};
+
+/// Executable int8 GEMM variants, scalar first. The dispatcher binds exactly
+/// one per backend (the avx2 tier upgrades to avx2_vnni when the host has
+/// AVX-512 VNNI), so the fuzz tests use this to run the bit-identity matrix
+/// over every variant — including the ones dispatch currently bypasses.
+[[nodiscard]] std::size_t gemm_i8_variants(const GemmI8Variant** out) noexcept;
+
+/// Name of the variant the active table's gemm_i8_dot dispatches to.
+[[nodiscard]] const char* gemm_i8_variant() noexcept;
+
+/// Signature of a mixed-sign int8 GEMM microkernel (gemm_i8u8_dot below):
+/// identical to GemmI8Fn plus the flag naming the operand whose bytes the
+/// caller guarantees to be in [0,127].
+using GemmI8U8Fn = void (*)(std::int64_t m, std::int64_t n, std::int64_t k,
+                            const std::int8_t* a, std::int64_t lda,
+                            const std::int8_t* b, std::int64_t ldb,
+                            std::int32_t* c, std::int64_t ldc,
+                            bool a_unsigned) noexcept;
+
+/// One mixed-sign GEMM microkernel this binary carries and this host can
+/// execute.
+struct GemmI8U8Variant {
+  const char* name;  ///< "scalar" | "avx2" | "avx2_vnni"
+  GemmI8U8Fn fn;
+};
+
+/// Executable mixed-sign GEMM variants, scalar first — the u8xs8 companion
+/// to gemm_i8_variants, used by the fuzz tests to pin every variant to the
+/// scalar signed reference (same bytes, same bits).
+[[nodiscard]] std::size_t gemm_i8u8_variants(
+    const GemmI8U8Variant** out) noexcept;
+
 /// RAII for tests/benches that A/B backends: forces `b` now, restores the
 /// previously active backend on destruction.
 class BackendGuard {
@@ -160,5 +203,91 @@ std::uint64_t fused_bias_clip_rc(float* o, const float* bias, float bound,
 std::uint64_t fused_bias_clip_rr(float* o, const float* bias,
                                  const float* bound, bool saturate,
                                  std::int64_t n, bool count) noexcept;
+
+// ---- int8 quantized path ---------------------------------------------------
+//
+// The quantized serving path (quant/int8.h + the fused int8 plan ops) runs
+// quantize -> int8 GEMM -> dequantize epilogue. Its cross-backend contract is
+// *stronger* than fp32 GEMM's error bound: the GEMM accumulates in exact
+// int32 arithmetic (integer adds are order-independent), quantize_i8 mirrors
+// the scalar rounding branch-for-branch, and the dequantize epilogues use a
+// separate multiply and add (no FMA), so every int8 entry point — and
+// therefore the whole int8 forward — is bit-identical across backends.
+// int8_gemm_fuzz_test pins this. The no-value-based-skipping rule holds here
+// too: a corrupted int8 weight byte (including -128, which quantization never
+// emits but a bit flip can) flows through the exact integer arithmetic.
+
+/// Int8 GEMM in dot-product ("row times row") layout:
+///   c[i*ldc + j] = sum_k a[i*lda + k] * b[j*ldb + k]   (int32 accumulation)
+/// Both operands are row-major along k — A holds quantized weight rows, B
+/// holds quantized activation rows (im2row patches or batch rows). Callers
+/// pad k to quant::kQ8Block with zero bytes so the vector kernel runs whole
+/// 32-wide blocks; any k is accepted (scalar tail). Overflow: |a|,|b| <= 128
+/// keeps every 32-element block sum within +/-2^19, safe for k beyond 10^8.
+void gemm_i8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                 const std::int8_t* a, std::int64_t lda, const std::int8_t* b,
+                 std::int64_t ldb, std::int32_t* c, std::int64_t ldc) noexcept;
+
+/// gemm_i8_dot with the caller's extra guarantee that every byte of one
+/// operand (a when a_unsigned, else b) lies in [0,127]. FitAct's clamp
+/// epilogue makes every post-activation tensor nonnegative, so its
+/// quantization always satisfies this — which unlocks u8xs8 instructions
+/// (maddubs on AVX2, vpdpbusd on AVX-512 VNNI) at double the MAC density of
+/// the widen-to-int16 signed kernel. With the unsigned operand <= 127 their
+/// intermediate pair sums cannot saturate, so the result is bit-identical
+/// to gemm_i8_dot on the same bytes (a byte in [0,127] reads the same as u8
+/// and as s8). Faulted bytes in the *signed* operand (including -128) are
+/// handled exactly; the unsigned-side guarantee covers activations, which
+/// fault injection never touches.
+void gemm_i8u8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                   const std::int8_t* a, std::int64_t lda,
+                   const std::int8_t* b, std::int64_t ldb, std::int32_t* c,
+                   std::int64_t ldc, bool a_unsigned) noexcept;
+
+/// Symmetric fp32 -> int8 quantization: q[i] = round-to-nearest-even of
+/// x[i] * inv_scale, clamped to [-127, 127] (never -128, so a clean
+/// activation can't alias the one value only faults produce); NaN -> 0.
+void quantize_i8(const float* x, float inv_scale, std::int8_t* q,
+                 std::int64_t n) noexcept;
+
+/// Plain dequantize, in place over the accumulator span (reads int32, writes
+/// fp32 to the same bytes): out[i] = float(acc[i]) * scale + bias. Used when
+/// a BatchNorm sits between the int8 GEMM and the clamp.
+void dequant_i32(std::int32_t* acc, float scale, float bias,
+                 std::int64_t n) noexcept;
+
+// Fused dequantize epilogues: the int8 analogue of fused_bias_clip_* above.
+// In place over the GEMM accumulator span, per element with
+//   xi = float(acc[i]) * scale + bias        (multiply then add, two IEEE
+//                                             roundings — never fused)
+// then the identical clamp cascade: xi <= 0 -> 0; xi <= b -> xi; else
+// saturate ? b : 0 (NaN lands in else), count tallies xi > b. The clamp-event
+// statistic feeds the same detector as the fp32 path. Suffixes as for
+// fused_bias_clip_*: first letter = scale/bias shape (c = one constant pair
+// for the span — conv channel plane; r = per-element rows — linear output
+// row, where a null bias row means bias 0), second = bound shape.
+
+/// Conv channel plane (constant scale+bias) under a single bound value.
+std::uint64_t fused_dequant_clip_cc(std::int32_t* acc, float scale, float bias,
+                                    float bound, bool saturate, std::int64_t n,
+                                    bool count) noexcept;
+
+/// Conv channel plane under per-neuron bounds (one bound per element).
+std::uint64_t fused_dequant_clip_cr(std::int32_t* acc, float scale, float bias,
+                                    const float* bound, bool saturate,
+                                    std::int64_t n, bool count) noexcept;
+
+/// Linear output row (per-element scale/bias rows; bias may be null = 0)
+/// under a layer-granular bound.
+std::uint64_t fused_dequant_clip_rc(std::int32_t* acc, const float* scale,
+                                    const float* bias, float bound,
+                                    bool saturate, std::int64_t n,
+                                    bool count) noexcept;
+
+/// Linear output row under per-neuron bounds.
+std::uint64_t fused_dequant_clip_rr(std::int32_t* acc, const float* scale,
+                                    const float* bias, const float* bound,
+                                    bool saturate, std::int64_t n,
+                                    bool count) noexcept;
 
 }  // namespace fitact::kern

@@ -1,0 +1,471 @@
+// AVX-512 VNNI int8 GEMM. Only compiled when the toolchain can target
+// AVX-512 F/BW/VL/VNNI (FITACT_HAVE_AVX512VNNI_KERNELS); dispatch.cpp
+// swaps it into the avx2 table's gemm_i8_dot slot only after cpuid confirms
+// the host executes all four extensions — there is no separate public
+// backend, the avx2 tier just upgrades its int8 GEMM. The file name keeps
+// the kernels_avx2* prefix so scripts/lint.sh's <immintrin.h> allowlist
+// covers it.
+//
+// Bit-identity with the scalar int8 GEMM is the same hard contract as
+// kernels_avx2_i8.cpp. vpdpwssd computes acc + a0*b0 + a1*b1 per int32
+// lane; operands here are int8 widened to int16, so each product is at most
+// 2^14 and the pair sum at most 2^15 — exact in int32, no saturation
+// (vpdpwssd, not vpdpwssds). Exact accumulation makes integer addition
+// order-independent, so any tile shape or reduction order yields the scalar
+// kernel's bits for the full int8 range including -128.
+//
+// Layout: the AVX2 kernel's dot-product tiling, widened to a 4x4 register
+// tile with each 32-element k-chunk handled by one 512-bit vpdpwssd per
+// (row, column) pair. 4x4 beats 2x4 here because each A/B widen feeds four
+// dot products instead of two, and the serving GEMMs are short-k
+// (K = 32..512) so widening is a large fraction of the inner loop. Two
+// alternatives were measured and rejected at the serving shapes: a
+// reduction-free layout (output rows in accumulator lanes, vpscatterdd
+// column stores) is ~50% slower — per-column fixed costs swamp the saved
+// horizontal reductions at small k; and pre-widening both operands into
+// per-thread int16 scratch to strip the in-loop converts is slightly slower
+// still — the inner loop re-streams B once per row quad, and doubling its
+// element size costs more than the hoisted cvtepi8_epi16 saves.
+#if defined(FITACT_HAVE_AVX512VNNI_KERNELS)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "tensor/kernels/kernel_table.h"
+
+namespace fitact::kern {
+namespace {
+
+/// 32 int8 -> one zmm of 32 int16. One instruction per operand chunk versus
+/// the AVX2 kernel's two half-widenings; the int16 lanes then feed vpdpwssd
+/// directly.
+inline __m512i widen32(const std::int8_t* p) noexcept {
+  return _mm512_cvtepi8_epi16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+/// Fold a zmm accumulator's 16 int32 partials to 8 (exact; associativity).
+inline __m256i fold512(__m512i v) noexcept {
+  return _mm256_add_epi32(_mm512_castsi512_si256(v),
+                          _mm512_extracti64x4_epi64(v, 1));
+}
+
+inline std::int32_t hsum_epi32(__m256i v) noexcept {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v),
+                            _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// Transpose-reduce four folded accumulators to their four lane sums
+/// (identical to the AVX2 kernel's helper; any order, same bits).
+inline __m128i hsum4_epi32(__m256i v0, __m256i v1, __m256i v2,
+                           __m256i v3) noexcept {
+  const __m256i s01 = _mm256_hadd_epi32(v0, v1);
+  const __m256i s23 = _mm256_hadd_epi32(v2, v3);
+  const __m256i s = _mm256_hadd_epi32(s01, s23);
+  return _mm_add_epi32(_mm256_castsi256_si128(s),
+                       _mm256_extracti128_si256(s, 1));
+}
+
+/// Scalar k-tail patch for one row's four column sums.
+inline __m128i tail4(__m128i sums, const std::int8_t* arow,
+                     const std::int8_t* b0, const std::int8_t* b1,
+                     const std::int8_t* b2, const std::int8_t* b3,
+                     std::int64_t p, std::int64_t k) noexcept {
+  alignas(16) std::int32_t t[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(t), sums);
+  for (; p < k; ++p) {
+    const std::int32_t av = arow[p];
+    t[0] += av * b0[p];
+    t[1] += av * b1[p];
+    t[2] += av * b2[p];
+    t[3] += av * b3[p];
+  }
+  return _mm_load_si128(reinterpret_cast<const __m128i*>(t));
+}
+
+/// acc += dot of 64 u8xs8 byte pairs in one vpdpbusd. The unsigned operand
+/// comes first; kAU says whether that is the GEMM's a or b. Each lane sums
+/// four u8*s8 products (|sum| <= 4*127*128, exact in int32) onto the
+/// accumulator with plain wraparound — no saturation anywhere, so this is
+/// bit-identical to the scalar kernel for u in [0,127].
+template <bool kAU>
+inline __m512i dot64u(__m512i acc, __m512i av, __m512i bv) noexcept {
+  return kAU ? _mm512_dpbusd_epi32(acc, av, bv)
+             : _mm512_dpbusd_epi32(acc, bv, av);
+}
+
+inline __m512i loadu_512(const void* p) noexcept {
+  return _mm512_loadu_si512(p);
+}
+
+/// Masked 64-byte load for the k tail: bytes past `rem` read as zero, and
+/// AVX-512 masked loads suppress faults on masked-out elements, so the
+/// load never touches past the row's end. A zero byte contributes zero to
+/// the exact dot, so running the tail through the same vpdpbusd keeps the
+/// kernel bit-identical with no scalar patch-up (the serving GEMMs have
+/// k % 64 == 32 — conv2's K is 160 — so a scalar tail would run 20% of
+/// their MACs at scalar speed).
+inline __m512i loadu_512_tail(const std::int8_t* p, std::int64_t rem) noexcept {
+  const __mmask64 mk = static_cast<__mmask64>(~0ULL >> (64 - rem));
+  return _mm512_maskz_loadu_epi8(mk, p);
+}
+
+/// gemm_i8u8_dot body: the 4x4 tile below with 64-byte chunks and no
+/// widening at all — vpdpbusd eats the raw bytes, doubling the per-
+/// instruction MAC density of the widened signed path.
+template <bool kAU>
+void gemm_i8u8_tile512(std::int64_t m, std::int64_t n, std::int64_t k,
+                       const std::int8_t* a, std::int64_t lda,
+                       const std::int8_t* b, std::int64_t ldb, std::int32_t* c,
+                       std::int64_t ldc) noexcept {
+  const std::int64_t k64 = k & ~static_cast<std::int64_t>(63);
+  const std::int64_t krem = k - k64;
+  std::int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const std::int8_t* arow0 = a + (i + 0) * lda;
+    const std::int8_t* arow1 = a + (i + 1) * lda;
+    const std::int8_t* arow2 = a + (i + 2) * lda;
+    const std::int8_t* arow3 = a + (i + 3) * lda;
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int8_t* b0 = b + (j + 0) * ldb;
+      const std::int8_t* b1 = b + (j + 1) * ldb;
+      const std::int8_t* b2 = b + (j + 2) * ldb;
+      const std::int8_t* b3 = b + (j + 3) * ldb;
+      __m512i acc00 = _mm512_setzero_si512();
+      __m512i acc01 = _mm512_setzero_si512();
+      __m512i acc02 = _mm512_setzero_si512();
+      __m512i acc03 = _mm512_setzero_si512();
+      __m512i acc10 = _mm512_setzero_si512();
+      __m512i acc11 = _mm512_setzero_si512();
+      __m512i acc12 = _mm512_setzero_si512();
+      __m512i acc13 = _mm512_setzero_si512();
+      __m512i acc20 = _mm512_setzero_si512();
+      __m512i acc21 = _mm512_setzero_si512();
+      __m512i acc22 = _mm512_setzero_si512();
+      __m512i acc23 = _mm512_setzero_si512();
+      __m512i acc30 = _mm512_setzero_si512();
+      __m512i acc31 = _mm512_setzero_si512();
+      __m512i acc32 = _mm512_setzero_si512();
+      __m512i acc33 = _mm512_setzero_si512();
+      std::int64_t p = 0;
+      for (; p < k64; p += 64) {
+        const __m512i a0v = loadu_512(arow0 + p);
+        const __m512i a1v = loadu_512(arow1 + p);
+        const __m512i a2v = loadu_512(arow2 + p);
+        const __m512i a3v = loadu_512(arow3 + p);
+        const __m512i b0v = loadu_512(b0 + p);
+        acc00 = dot64u<kAU>(acc00, a0v, b0v);
+        acc10 = dot64u<kAU>(acc10, a1v, b0v);
+        acc20 = dot64u<kAU>(acc20, a2v, b0v);
+        acc30 = dot64u<kAU>(acc30, a3v, b0v);
+        const __m512i b1v = loadu_512(b1 + p);
+        acc01 = dot64u<kAU>(acc01, a0v, b1v);
+        acc11 = dot64u<kAU>(acc11, a1v, b1v);
+        acc21 = dot64u<kAU>(acc21, a2v, b1v);
+        acc31 = dot64u<kAU>(acc31, a3v, b1v);
+        const __m512i b2v = loadu_512(b2 + p);
+        acc02 = dot64u<kAU>(acc02, a0v, b2v);
+        acc12 = dot64u<kAU>(acc12, a1v, b2v);
+        acc22 = dot64u<kAU>(acc22, a2v, b2v);
+        acc32 = dot64u<kAU>(acc32, a3v, b2v);
+        const __m512i b3v = loadu_512(b3 + p);
+        acc03 = dot64u<kAU>(acc03, a0v, b3v);
+        acc13 = dot64u<kAU>(acc13, a1v, b3v);
+        acc23 = dot64u<kAU>(acc23, a2v, b3v);
+        acc33 = dot64u<kAU>(acc33, a3v, b3v);
+      }
+      if (krem != 0) {
+        const __m512i a0v = loadu_512_tail(arow0 + p, krem);
+        const __m512i a1v = loadu_512_tail(arow1 + p, krem);
+        const __m512i a2v = loadu_512_tail(arow2 + p, krem);
+        const __m512i a3v = loadu_512_tail(arow3 + p, krem);
+        const __m512i b0v = loadu_512_tail(b0 + p, krem);
+        acc00 = dot64u<kAU>(acc00, a0v, b0v);
+        acc10 = dot64u<kAU>(acc10, a1v, b0v);
+        acc20 = dot64u<kAU>(acc20, a2v, b0v);
+        acc30 = dot64u<kAU>(acc30, a3v, b0v);
+        const __m512i b1v = loadu_512_tail(b1 + p, krem);
+        acc01 = dot64u<kAU>(acc01, a0v, b1v);
+        acc11 = dot64u<kAU>(acc11, a1v, b1v);
+        acc21 = dot64u<kAU>(acc21, a2v, b1v);
+        acc31 = dot64u<kAU>(acc31, a3v, b1v);
+        const __m512i b2v = loadu_512_tail(b2 + p, krem);
+        acc02 = dot64u<kAU>(acc02, a0v, b2v);
+        acc12 = dot64u<kAU>(acc12, a1v, b2v);
+        acc22 = dot64u<kAU>(acc22, a2v, b2v);
+        acc32 = dot64u<kAU>(acc32, a3v, b2v);
+        const __m512i b3v = loadu_512_tail(b3 + p, krem);
+        acc03 = dot64u<kAU>(acc03, a0v, b3v);
+        acc13 = dot64u<kAU>(acc13, a1v, b3v);
+        acc23 = dot64u<kAU>(acc23, a2v, b3v);
+        acc33 = dot64u<kAU>(acc33, a3v, b3v);
+      }
+      const __m128i sums0 = hsum4_epi32(fold512(acc00), fold512(acc01),
+                                        fold512(acc02), fold512(acc03));
+      const __m128i sums1 = hsum4_epi32(fold512(acc10), fold512(acc11),
+                                        fold512(acc12), fold512(acc13));
+      const __m128i sums2 = hsum4_epi32(fold512(acc20), fold512(acc21),
+                                        fold512(acc22), fold512(acc23));
+      const __m128i sums3 = hsum4_epi32(fold512(acc30), fold512(acc31),
+                                        fold512(acc32), fold512(acc33));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + (i + 0) * ldc + j),
+                       sums0);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + (i + 1) * ldc + j),
+                       sums1);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + (i + 2) * ldc + j),
+                       sums2);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + (i + 3) * ldc + j),
+                       sums3);
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* brow = b + j * ldb;
+      __m512i acc0 = _mm512_setzero_si512();
+      __m512i acc1 = _mm512_setzero_si512();
+      __m512i acc2 = _mm512_setzero_si512();
+      __m512i acc3 = _mm512_setzero_si512();
+      std::int64_t p = 0;
+      for (; p < k64; p += 64) {
+        const __m512i bv = loadu_512(brow + p);
+        acc0 = dot64u<kAU>(acc0, loadu_512(arow0 + p), bv);
+        acc1 = dot64u<kAU>(acc1, loadu_512(arow1 + p), bv);
+        acc2 = dot64u<kAU>(acc2, loadu_512(arow2 + p), bv);
+        acc3 = dot64u<kAU>(acc3, loadu_512(arow3 + p), bv);
+      }
+      if (krem != 0) {
+        const __m512i bv = loadu_512_tail(brow + p, krem);
+        acc0 = dot64u<kAU>(acc0, loadu_512_tail(arow0 + p, krem), bv);
+        acc1 = dot64u<kAU>(acc1, loadu_512_tail(arow1 + p, krem), bv);
+        acc2 = dot64u<kAU>(acc2, loadu_512_tail(arow2 + p, krem), bv);
+        acc3 = dot64u<kAU>(acc3, loadu_512_tail(arow3 + p, krem), bv);
+      }
+      c[(i + 0) * ldc + j] = hsum_epi32(fold512(acc0));
+      c[(i + 1) * ldc + j] = hsum_epi32(fold512(acc1));
+      c[(i + 2) * ldc + j] = hsum_epi32(fold512(acc2));
+      c[(i + 3) * ldc + j] = hsum_epi32(fold512(acc3));
+    }
+  }
+  for (; i < m; ++i) {
+    const std::int8_t* arow = a + i * lda;
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int8_t* b0 = b + (j + 0) * ldb;
+      const std::int8_t* b1 = b + (j + 1) * ldb;
+      const std::int8_t* b2 = b + (j + 2) * ldb;
+      const std::int8_t* b3 = b + (j + 3) * ldb;
+      __m512i acc0 = _mm512_setzero_si512();
+      __m512i acc1 = _mm512_setzero_si512();
+      __m512i acc2 = _mm512_setzero_si512();
+      __m512i acc3 = _mm512_setzero_si512();
+      std::int64_t p = 0;
+      for (; p < k64; p += 64) {
+        const __m512i av = loadu_512(arow + p);
+        acc0 = dot64u<kAU>(acc0, av, loadu_512(b0 + p));
+        acc1 = dot64u<kAU>(acc1, av, loadu_512(b1 + p));
+        acc2 = dot64u<kAU>(acc2, av, loadu_512(b2 + p));
+        acc3 = dot64u<kAU>(acc3, av, loadu_512(b3 + p));
+      }
+      if (krem != 0) {
+        const __m512i av = loadu_512_tail(arow + p, krem);
+        acc0 = dot64u<kAU>(acc0, av, loadu_512_tail(b0 + p, krem));
+        acc1 = dot64u<kAU>(acc1, av, loadu_512_tail(b1 + p, krem));
+        acc2 = dot64u<kAU>(acc2, av, loadu_512_tail(b2 + p, krem));
+        acc3 = dot64u<kAU>(acc3, av, loadu_512_tail(b3 + p, krem));
+      }
+      const __m128i sums = hsum4_epi32(fold512(acc0), fold512(acc1),
+                                       fold512(acc2), fold512(acc3));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + i * ldc + j), sums);
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* brow = b + j * ldb;
+      __m512i acc = _mm512_setzero_si512();
+      std::int64_t p = 0;
+      for (; p < k64; p += 64) {
+        acc = dot64u<kAU>(acc, loadu_512(arow + p), loadu_512(brow + p));
+      }
+      if (krem != 0) {
+        acc = dot64u<kAU>(acc, loadu_512_tail(arow + p, krem),
+                          loadu_512_tail(brow + p, krem));
+      }
+      c[i * ldc + j] = hsum_epi32(fold512(acc));
+    }
+  }
+}
+
+}  // namespace
+
+void avx2_vnni_gemm_i8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                           const std::int8_t* a, std::int64_t lda,
+                           const std::int8_t* b, std::int64_t ldb,
+                           std::int32_t* c, std::int64_t ldc) noexcept {
+  const std::int64_t k32 = k & ~static_cast<std::int64_t>(31);
+  std::int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const std::int8_t* arow0 = a + (i + 0) * lda;
+    const std::int8_t* arow1 = a + (i + 1) * lda;
+    const std::int8_t* arow2 = a + (i + 2) * lda;
+    const std::int8_t* arow3 = a + (i + 3) * lda;
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int8_t* b0 = b + (j + 0) * ldb;
+      const std::int8_t* b1 = b + (j + 1) * ldb;
+      const std::int8_t* b2 = b + (j + 2) * ldb;
+      const std::int8_t* b3 = b + (j + 3) * ldb;
+      __m512i acc00 = _mm512_setzero_si512();
+      __m512i acc01 = _mm512_setzero_si512();
+      __m512i acc02 = _mm512_setzero_si512();
+      __m512i acc03 = _mm512_setzero_si512();
+      __m512i acc10 = _mm512_setzero_si512();
+      __m512i acc11 = _mm512_setzero_si512();
+      __m512i acc12 = _mm512_setzero_si512();
+      __m512i acc13 = _mm512_setzero_si512();
+      __m512i acc20 = _mm512_setzero_si512();
+      __m512i acc21 = _mm512_setzero_si512();
+      __m512i acc22 = _mm512_setzero_si512();
+      __m512i acc23 = _mm512_setzero_si512();
+      __m512i acc30 = _mm512_setzero_si512();
+      __m512i acc31 = _mm512_setzero_si512();
+      __m512i acc32 = _mm512_setzero_si512();
+      __m512i acc33 = _mm512_setzero_si512();
+      std::int64_t p = 0;
+      for (; p < k32; p += 32) {
+        const __m512i a0w = widen32(arow0 + p);
+        const __m512i a1w = widen32(arow1 + p);
+        const __m512i a2w = widen32(arow2 + p);
+        const __m512i a3w = widen32(arow3 + p);
+        const __m512i b0w = widen32(b0 + p);
+        acc00 = _mm512_dpwssd_epi32(acc00, a0w, b0w);
+        acc10 = _mm512_dpwssd_epi32(acc10, a1w, b0w);
+        acc20 = _mm512_dpwssd_epi32(acc20, a2w, b0w);
+        acc30 = _mm512_dpwssd_epi32(acc30, a3w, b0w);
+        const __m512i b1w = widen32(b1 + p);
+        acc01 = _mm512_dpwssd_epi32(acc01, a0w, b1w);
+        acc11 = _mm512_dpwssd_epi32(acc11, a1w, b1w);
+        acc21 = _mm512_dpwssd_epi32(acc21, a2w, b1w);
+        acc31 = _mm512_dpwssd_epi32(acc31, a3w, b1w);
+        const __m512i b2w = widen32(b2 + p);
+        acc02 = _mm512_dpwssd_epi32(acc02, a0w, b2w);
+        acc12 = _mm512_dpwssd_epi32(acc12, a1w, b2w);
+        acc22 = _mm512_dpwssd_epi32(acc22, a2w, b2w);
+        acc32 = _mm512_dpwssd_epi32(acc32, a3w, b2w);
+        const __m512i b3w = widen32(b3 + p);
+        acc03 = _mm512_dpwssd_epi32(acc03, a0w, b3w);
+        acc13 = _mm512_dpwssd_epi32(acc13, a1w, b3w);
+        acc23 = _mm512_dpwssd_epi32(acc23, a2w, b3w);
+        acc33 = _mm512_dpwssd_epi32(acc33, a3w, b3w);
+      }
+      __m128i sums0 = hsum4_epi32(fold512(acc00), fold512(acc01),
+                                  fold512(acc02), fold512(acc03));
+      __m128i sums1 = hsum4_epi32(fold512(acc10), fold512(acc11),
+                                  fold512(acc12), fold512(acc13));
+      __m128i sums2 = hsum4_epi32(fold512(acc20), fold512(acc21),
+                                  fold512(acc22), fold512(acc23));
+      __m128i sums3 = hsum4_epi32(fold512(acc30), fold512(acc31),
+                                  fold512(acc32), fold512(acc33));
+      if (p < k) {
+        sums0 = tail4(sums0, arow0, b0, b1, b2, b3, p, k);
+        sums1 = tail4(sums1, arow1, b0, b1, b2, b3, p, k);
+        sums2 = tail4(sums2, arow2, b0, b1, b2, b3, p, k);
+        sums3 = tail4(sums3, arow3, b0, b1, b2, b3, p, k);
+      }
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + (i + 0) * ldc + j),
+                       sums0);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + (i + 1) * ldc + j),
+                       sums1);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + (i + 2) * ldc + j),
+                       sums2);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + (i + 3) * ldc + j),
+                       sums3);
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* brow = b + j * ldb;
+      __m512i acc0 = _mm512_setzero_si512();
+      __m512i acc1 = _mm512_setzero_si512();
+      __m512i acc2 = _mm512_setzero_si512();
+      __m512i acc3 = _mm512_setzero_si512();
+      std::int64_t p = 0;
+      for (; p < k32; p += 32) {
+        const __m512i bwv = widen32(brow + p);
+        acc0 = _mm512_dpwssd_epi32(acc0, widen32(arow0 + p), bwv);
+        acc1 = _mm512_dpwssd_epi32(acc1, widen32(arow1 + p), bwv);
+        acc2 = _mm512_dpwssd_epi32(acc2, widen32(arow2 + p), bwv);
+        acc3 = _mm512_dpwssd_epi32(acc3, widen32(arow3 + p), bwv);
+      }
+      std::int32_t s0 = hsum_epi32(fold512(acc0));
+      std::int32_t s1 = hsum_epi32(fold512(acc1));
+      std::int32_t s2 = hsum_epi32(fold512(acc2));
+      std::int32_t s3 = hsum_epi32(fold512(acc3));
+      for (; p < k; ++p) {
+        const std::int32_t bv = brow[p];
+        s0 += static_cast<std::int32_t>(arow0[p]) * bv;
+        s1 += static_cast<std::int32_t>(arow1[p]) * bv;
+        s2 += static_cast<std::int32_t>(arow2[p]) * bv;
+        s3 += static_cast<std::int32_t>(arow3[p]) * bv;
+      }
+      c[(i + 0) * ldc + j] = s0;
+      c[(i + 1) * ldc + j] = s1;
+      c[(i + 2) * ldc + j] = s2;
+      c[(i + 3) * ldc + j] = s3;
+    }
+  }
+  for (; i < m; ++i) {
+    const std::int8_t* arow = a + i * lda;
+    std::int64_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const std::int8_t* b0 = b + (j + 0) * ldb;
+      const std::int8_t* b1 = b + (j + 1) * ldb;
+      const std::int8_t* b2 = b + (j + 2) * ldb;
+      const std::int8_t* b3 = b + (j + 3) * ldb;
+      __m512i acc0 = _mm512_setzero_si512();
+      __m512i acc1 = _mm512_setzero_si512();
+      __m512i acc2 = _mm512_setzero_si512();
+      __m512i acc3 = _mm512_setzero_si512();
+      std::int64_t p = 0;
+      for (; p < k32; p += 32) {
+        const __m512i aw = widen32(arow + p);
+        acc0 = _mm512_dpwssd_epi32(acc0, aw, widen32(b0 + p));
+        acc1 = _mm512_dpwssd_epi32(acc1, aw, widen32(b1 + p));
+        acc2 = _mm512_dpwssd_epi32(acc2, aw, widen32(b2 + p));
+        acc3 = _mm512_dpwssd_epi32(acc3, aw, widen32(b3 + p));
+      }
+      __m128i sums = hsum4_epi32(fold512(acc0), fold512(acc1), fold512(acc2),
+                                 fold512(acc3));
+      if (p < k) sums = tail4(sums, arow, b0, b1, b2, b3, p, k);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(c + i * ldc + j), sums);
+    }
+    for (; j < n; ++j) {
+      const std::int8_t* brow = b + j * ldb;
+      __m512i acc = _mm512_setzero_si512();
+      std::int64_t p = 0;
+      for (; p < k32; p += 32) {
+        acc = _mm512_dpwssd_epi32(acc, widen32(arow + p), widen32(brow + p));
+      }
+      std::int32_t s = hsum_epi32(fold512(acc));
+      for (; p < k; ++p) {
+        s += static_cast<std::int32_t>(arow[p]) *
+             static_cast<std::int32_t>(brow[p]);
+      }
+      c[i * ldc + j] = s;
+    }
+  }
+}
+
+void avx2_vnni_gemm_i8u8_dot(std::int64_t m, std::int64_t n, std::int64_t k,
+                             const std::int8_t* a, std::int64_t lda,
+                             const std::int8_t* b, std::int64_t ldb,
+                             std::int32_t* c, std::int64_t ldc,
+                             bool a_unsigned) noexcept {
+  if (a_unsigned) {
+    gemm_i8u8_tile512<true>(m, n, k, a, lda, b, ldb, c, ldc);
+  } else {
+    gemm_i8u8_tile512<false>(m, n, k, a, lda, b, ldb, c, ldc);
+  }
+}
+
+}  // namespace fitact::kern
+
+#endif  // FITACT_HAVE_AVX512VNNI_KERNELS

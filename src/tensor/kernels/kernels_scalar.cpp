@@ -245,6 +245,14 @@ const KernelTable& scalar_table() noexcept {
       scalar_fused_bias_clip_cr,
       scalar_fused_bias_clip_rc,
       scalar_fused_bias_clip_rr,
+      scalar_gemm_i8_dot,
+      scalar_gemm_i8u8_dot,
+      scalar_quantize_i8,
+      scalar_dequant_i32,
+      scalar_fused_dequant_clip_cc,
+      scalar_fused_dequant_clip_cr,
+      scalar_fused_dequant_clip_rc,
+      scalar_fused_dequant_clip_rr,
   };
   return kTable;
 }
